@@ -1,0 +1,152 @@
+package cicero_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cicero"
+	"cicero/internal/dataset"
+	"cicero/internal/engine"
+)
+
+// buildCoffee builds a small relation through the public API.
+func buildCoffee(t testing.TB) *cicero.Relation {
+	t.Helper()
+	b := cicero.NewBuilder("coffee", cicero.Schema{
+		Dimensions: []string{"city", "roast"},
+		Targets:    []string{"price"},
+	})
+	rows := []struct {
+		city, roast string
+		price       float64
+	}{
+		{"Berlin", "light", 3.2}, {"Berlin", "dark", 3.0},
+		{"Zurich", "light", 5.9}, {"Zurich", "dark", 5.6},
+		{"Lisbon", "light", 2.1}, {"Lisbon", "dark", 2.0},
+		{"Oslo", "light", 5.8}, {"Oslo", "dark", 5.5},
+	}
+	for _, r := range rows {
+		b.MustAddRow([]string{r.city, r.roast}, []float64{r.price})
+	}
+	return b.Freeze()
+}
+
+func TestPublicAPISummarization(t *testing.T) {
+	rel := buildCoffee(t)
+	view := rel.FullView()
+	facts := cicero.GenerateFacts(view, 0, cicero.GenerateOptions{MaxDims: 2})
+	if len(facts) == 0 {
+		t.Fatal("no facts generated")
+	}
+	prior := cicero.MeanPrior(view, 0)
+	e := cicero.NewEvaluator(view, 0, facts, prior)
+
+	greedy := cicero.Greedy(e, cicero.Options{MaxFacts: 3})
+	exact := cicero.Exact(e, cicero.Options{MaxFacts: 3, LowerBound: greedy.Utility})
+	if greedy.Utility <= 0 {
+		t.Error("greedy should find useful facts on varied data")
+	}
+	if exact.Utility < greedy.Utility-1e-9 {
+		t.Errorf("exact %v below greedy %v", exact.Utility, greedy.Utility)
+	}
+	// Utility recomputes identically through the public helper.
+	if got := cicero.Utility(view, greedy.Facts, prior, 0); math.Abs(got-greedy.Utility) > 1e-9 {
+		t.Errorf("Utility = %v, summary says %v", got, greedy.Utility)
+	}
+	// Pruning modes agree through the facade too.
+	for _, mode := range []cicero.PruningMode{cicero.PruneNaive, cicero.PruneOptimized} {
+		alt := cicero.Greedy(e, cicero.Options{MaxFacts: 3, Pruning: mode})
+		if math.Abs(alt.Utility-greedy.Utility) > 1e-9 {
+			t.Errorf("mode %v utility %v != base %v", mode, alt.Utility, greedy.Utility)
+		}
+	}
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	rel := dataset.Flights(1200, 1)
+	cfg := cicero.DefaultConfig(rel)
+	cfg.Targets = []string{"delay"}
+	cfg.Dimensions = []string{"season"}
+	cfg.MaxQueryLen = 1
+
+	s := &cicero.Summarizer{Rel: rel, Config: cfg, Alg: cicero.AlgGreedyOpt,
+		Template: cicero.Template{Unit: "minutes"}}
+	store, stats, err := s.Preprocess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Speeches != 5 { // overall + 4 seasons
+		t.Fatalf("speeches = %d, want 5", stats.Speeches)
+	}
+
+	ex := cicero.NewVoiceExtractor(rel, []cicero.VoiceSample{
+		{Phrase: "delays", Target: "delay"},
+	}, 1)
+	c := cicero.ClassifyRequest("delays in Winter", ex)
+	sp, ok := cicero.Answer(store, c.Query)
+	if !ok {
+		t.Fatal("no answer for winter delays")
+	}
+	if !strings.Contains(sp.Text, "minutes") {
+		t.Errorf("speech = %q", sp.Text)
+	}
+
+	// Persistence round trip through the facade.
+	var buf strings.Builder
+	if err := store.Save(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := cicero.LoadStore(strings.NewReader(buf.String()), rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != store.Len() {
+		t.Errorf("loaded %d speeches, want %d", loaded.Len(), store.Len())
+	}
+}
+
+func TestPublicAPIExtendedQueries(t *testing.T) {
+	rel := dataset.Flights(8000, 1)
+	a, err := cicero.AnswerExtremum(rel, "cancelled", "month", nil, cicero.Max, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != "February" {
+		t.Errorf("extremum month = %q, want February", a.Value)
+	}
+	feb, _ := rel.PredicateByName("month", "February")
+	jul, _ := rel.PredicateByName("month", "July")
+	cmp, err := cicero.AnswerComparison(rel, "cancelled",
+		[]cicero.Predicate{feb}, []cicero.Predicate{jul})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.MeanA <= cmp.MeanB {
+		t.Errorf("February %v should exceed July %v", cmp.MeanA, cmp.MeanB)
+	}
+}
+
+func TestPublicAPIExpectationModels(t *testing.T) {
+	models := []cicero.ExpectationModel{cicero.Closest, cicero.Farthest, cicero.AvgScope, cicero.AvgAll}
+	names := map[string]bool{}
+	for _, m := range models {
+		names[m.String()] = true
+	}
+	if len(names) != 4 {
+		t.Errorf("model names collide: %v", names)
+	}
+}
+
+func TestFacadeTypesInteroperateWithInternal(t *testing.T) {
+	// Aliases mean values flow freely between facade and internal
+	// packages — a StoredSpeech from engine is a cicero.StoredSpeech.
+	var sp *cicero.StoredSpeech = &engine.StoredSpeech{Text: "x"}
+	if sp.Text != "x" {
+		t.Fatal("alias broken")
+	}
+	var p cicero.Prior = cicero.ConstantPrior(3)
+	if p.At(0) != 3 {
+		t.Fatal("prior alias broken")
+	}
+}

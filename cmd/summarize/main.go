@@ -1,0 +1,124 @@
+// Command summarize runs the pre-processing batch of the voice querying
+// system: it generates speech answers for every supported query of a data
+// set and prints them (or a sample) together with batch statistics.
+//
+// Usage:
+//
+//	summarize -data flights [-alg G-O] [-maxlen 2] [-facts 3] [-show 5]
+//	summarize -csv data.csv -config config.json [-alg E]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cicero/internal/dataset"
+	"cicero/internal/engine"
+	"cicero/internal/relation"
+	"cicero/internal/summarize"
+)
+
+func main() {
+	var (
+		dataName   = flag.String("data", "flights", "built-in data set: acs, stackoverflow, flights, primaries")
+		csvPath    = flag.String("csv", "", "CSV file to summarize instead of a built-in data set")
+		configPath = flag.String("config", "", "JSON configuration file (required with -csv)")
+		alg        = flag.String("alg", "G-O", "algorithm: E, G-B, G-P, G-O")
+		maxLen     = flag.Int("maxlen", 2, "maximal query length (predicates)")
+		maxFacts   = flag.Int("facts", 3, "facts per speech")
+		show       = flag.Int("show", 5, "number of sample speeches to print")
+		seed       = flag.Int64("seed", 1, "data generation seed")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-problem timeout for the exact algorithm")
+		workers    = flag.Int("workers", 1, "parallel problem solvers")
+		out        = flag.String("out", "", "write the speech store to this JSON file")
+	)
+	flag.Parse()
+
+	rel, cfg, err := loadInput(*dataName, *csvPath, *configPath, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "summarize:", err)
+		os.Exit(1)
+	}
+	if *configPath == "" {
+		cfg.MaxQueryLen = *maxLen
+		cfg.MaxFacts = *maxFacts
+	}
+
+	s := &engine.Summarizer{
+		Rel:     rel,
+		Config:  cfg,
+		Alg:     engine.Algorithm(*alg),
+		Opts:    summarize.Options{Timeout: *timeout},
+		Workers: *workers,
+		Progress: func(done, total int) {
+			if done%500 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\rpre-processing %d/%d", done, total)
+			}
+		},
+	}
+	store, stats, err := s.Preprocess()
+	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "summarize:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("data set:        %s (%d rows, %d dims, %d targets)\n",
+		rel.Name(), rel.NumRows(), rel.NumDims(), rel.NumTargets())
+	fmt.Printf("algorithm:       %s\n", *alg)
+	fmt.Printf("speeches:        %d\n", stats.Speeches)
+	fmt.Printf("total time:      %v\n", stats.Elapsed.Round(time.Millisecond))
+	fmt.Printf("per query:       %v\n", stats.PerQuery.Round(time.Microsecond))
+	fmt.Printf("avg utility:     %.3f (scaled)\n", stats.AvgScaledUtility())
+	if stats.TimedOut > 0 {
+		fmt.Printf("timeouts:        %d problems fell back to greedy\n", stats.TimedOut)
+	}
+
+	if *out != "" {
+		if err := store.SaveFile(*out, rel); err != nil {
+			fmt.Fprintln(os.Stderr, "summarize: save store:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("store written:   %s\n", *out)
+	}
+
+	if *show > 0 {
+		fmt.Printf("\nsample speeches:\n")
+		for i, sp := range store.Speeches() {
+			if i >= *show {
+				break
+			}
+			fmt.Printf("  [%s]\n    %s\n", sp.Query.String(), sp.Text)
+		}
+	}
+}
+
+// loadInput resolves the input relation and configuration.
+func loadInput(dataName, csvPath, configPath string, seed int64) (*relation.Relation, engine.Config, error) {
+	if csvPath != "" {
+		if configPath == "" {
+			return nil, engine.Config{}, fmt.Errorf("-csv requires -config (schema is read from the config)")
+		}
+		cfg, err := engine.LoadConfigFile(configPath)
+		if err != nil {
+			return nil, engine.Config{}, err
+		}
+		schema := relation.Schema{Dimensions: cfg.Dimensions, Targets: cfg.Targets}
+		rel, skipped, err := relation.FromCSVFile(cfg.Dataset, csvPath, schema)
+		if err != nil {
+			return nil, engine.Config{}, err
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "skipped %d rows with unparsable targets\n", skipped)
+		}
+		return rel, cfg, nil
+	}
+	rel := dataset.ByName(strings.ToLower(dataName), seed)
+	if rel == nil {
+		return nil, engine.Config{}, fmt.Errorf("unknown data set %q (want acs, stackoverflow, flights or primaries)", dataName)
+	}
+	return rel, engine.DefaultConfig(rel), nil
+}

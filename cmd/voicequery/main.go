@@ -1,0 +1,184 @@
+// Command voicequery is an interactive voice-query REPL: it pre-processes
+// a data set, then reads (typed) voice requests from stdin, classifies
+// them, and answers supported queries from the pre-generated speech
+// store — the full run-time pipeline of the paper's Figure 2 minus the
+// actual microphone.
+//
+// Usage:
+//
+//	voicequery -data flights
+//	> cancellations in Winter?
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cicero/internal/dataset"
+	"cicero/internal/engine"
+	"cicero/internal/relation"
+	"cicero/internal/voice"
+)
+
+// samplesFor provides target-phrase training samples per data set, the
+// "few samples" the paper uses to train its extractor.
+func samplesFor(name string) []voice.Sample {
+	switch name {
+	case "flights":
+		return []voice.Sample{
+			{Phrase: "cancellations", Target: "cancelled"},
+			{Phrase: "cancellation probability", Target: "cancelled"},
+			{Phrase: "delays", Target: "delay"},
+			{Phrase: "flight delays", Target: "delay"},
+		}
+	case "acs":
+		return []voice.Sample{
+			{Phrase: "hearing loss", Target: "hearing"},
+			{Phrase: "visual impairment", Target: "visual"},
+			{Phrase: "visually impaired", Target: "visual"},
+			{Phrase: "cognitive impairment", Target: "cognitive"},
+		}
+	case "stackoverflow":
+		return []voice.Sample{
+			{Phrase: "job satisfaction", Target: "job_satisfaction"},
+			{Phrase: "optimism", Target: "optimism"},
+			{Phrase: "competence", Target: "competence"},
+			{Phrase: "salary", Target: "salary_k"},
+		}
+	case "primaries":
+		return []voice.Sample{
+			{Phrase: "polling", Target: "pct"},
+			{Phrase: "support", Target: "pct"},
+			{Phrase: "poll numbers", Target: "pct"},
+		}
+	default:
+		return nil
+	}
+}
+
+// answerExtended handles extremum and comparison queries at run time.
+func answerExtended(rel *relation.Relation, ex *voice.Extractor, c voice.Classification, text string) (string, bool) {
+	if c.Query.Target == "" {
+		return "", false
+	}
+	switch c.Kind {
+	case voice.Extremum:
+		dim, ok := ex.ExtractDimension(text)
+		if !ok {
+			return "", false
+		}
+		kind := engine.Max
+		norm := voice.Normalize(text)
+		for _, w := range []string{"lowest", "least", "minimum", "min", "fewest"} {
+			if strings.Contains(norm, w) {
+				kind = engine.Min
+			}
+		}
+		_, preds, err := c.Query.Resolve(rel)
+		if err != nil {
+			return "", false
+		}
+		a, err := engine.AnswerExtremum(rel, c.Query.Target, dim, preds, kind, 10)
+		if err != nil {
+			return "", false
+		}
+		return a.Text(kind, c.Query.Target), true
+	case voice.Comparison:
+		vals := ex.ExtractValues(text)
+		if len(vals) < 2 {
+			return "", false
+		}
+		a, b := vals[0], vals[1]
+		pa, err := rel.PredicateByName(a.Column, a.Value)
+		if err != nil {
+			return "", false
+		}
+		pb, err := rel.PredicateByName(b.Column, b.Value)
+		if err != nil {
+			return "", false
+		}
+		cmp, err := engine.AnswerComparison(rel, c.Query.Target,
+			[]relation.Predicate{pa}, []relation.Predicate{pb})
+		if err != nil {
+			return "", false
+		}
+		return cmp.Text(c.Query.Target, a.Value, b.Value), true
+	}
+	return "", false
+}
+
+func main() {
+	var (
+		dataName = flag.String("data", "flights", "data set: acs, stackoverflow, flights, primaries")
+		maxLen   = flag.Int("maxlen", 2, "maximal query length")
+		seed     = flag.Int64("seed", 1, "data generation seed")
+	)
+	flag.Parse()
+
+	rel := dataset.ByName(strings.ToLower(*dataName), *seed)
+	if rel == nil {
+		fmt.Fprintf(os.Stderr, "voicequery: unknown data set %q\n", *dataName)
+		os.Exit(1)
+	}
+
+	cfg := engine.DefaultConfig(rel)
+	cfg.MaxQueryLen = *maxLen
+	fmt.Fprintf(os.Stderr, "pre-processing %s ...", rel.Name())
+	start := time.Now()
+	s := &engine.Summarizer{Rel: rel, Config: cfg, Alg: engine.AlgGreedyOpt}
+	store, stats, err := s.Preprocess()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "\nvoicequery:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, " %d speeches in %v\n", stats.Speeches, time.Since(start).Round(time.Millisecond))
+
+	ex := voice.NewExtractor(rel, samplesFor(strings.ToLower(*dataName)), *maxLen)
+	lastAnswer := "I have not said anything yet."
+
+	fmt.Println("Ask about the data (e.g. \"cancellations in Winter?\"); \"help\" lists columns; ctrl-D exits.")
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !scanner.Scan() {
+			break
+		}
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" {
+			continue
+		}
+		c := voice.Classify(text, ex)
+		switch c.Type {
+		case voice.Help:
+			fmt.Printf("You can ask about %s, restricted by %s.\n",
+				strings.Join(rel.Schema().Targets, ", "),
+				strings.Join(rel.Schema().Dimensions, ", "))
+		case voice.Repeat:
+			fmt.Println(lastAnswer)
+		case voice.SQuery:
+			sp, latency, ok := engine.Answer(store, c.Query)
+			if !ok {
+				fmt.Println("I have no answer for that data subset.")
+				continue
+			}
+			lastAnswer = sp.Text
+			fmt.Printf("%s\n  (matched %q, lookup %v)\n", sp.Text, sp.Query.String(), latency)
+		case voice.UQuery:
+			// Extension beyond the paper's deployment: extrema and
+			// comparisons (the dominant unsupported query types in the
+			// logs) are answered by run-time aggregation.
+			if answer, ok := answerExtended(rel, ex, c, text); ok {
+				lastAnswer = answer
+				fmt.Println(answer)
+				continue
+			}
+			fmt.Printf("Sorry, %s queries are not supported; try asking for average values of a data subset.\n", c.Kind)
+		default:
+			fmt.Println("Sorry, I did not understand. Say \"help\" for what I know.")
+		}
+	}
+}

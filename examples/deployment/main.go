@@ -1,0 +1,84 @@
+// Deployment runs the full pipeline of the paper's public deployment:
+// pre-process a flight-statistics data set, train the voice extractor,
+// replay a simulated request log, and answer supported queries from the
+// speech store — reporting the same latency split as Figure 10.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"cicero"
+	"cicero/internal/baseline"
+	"cicero/internal/dataset"
+	"cicero/internal/engine"
+	"cicero/internal/voice"
+)
+
+func main() {
+	rel := dataset.Flights(8000, 1)
+
+	// Pre-processing: speeches for every query with up to two predicates.
+	cfg := cicero.DefaultConfig(rel)
+	cfg.Targets = []string{"cancelled"}
+	cfg.MaxQueryLen = 1 // keep the demo fast; the paper uses 2
+	s := &engine.Summarizer{
+		Rel: rel, Config: cfg, Alg: engine.AlgGreedyOpt,
+		Template: engine.Template{TargetPhrase: "cancellation probability", Percent: true},
+	}
+	store, stats, err := s.Preprocess()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("pre-processed %d speeches in %v (%v per query)\n\n",
+		stats.Speeches, stats.Elapsed.Round(time.Millisecond), stats.PerQuery.Round(time.Microsecond))
+
+	// Voice front-end trained with a few samples.
+	ex := cicero.NewVoiceExtractor(rel, []cicero.VoiceSample{
+		{Phrase: "cancellations", Target: "cancelled"},
+		{Phrase: "cancellation probability", Target: "cancelled"},
+	}, cfg.MaxQueryLen)
+
+	// Replay a simulated request log with the paper's Table III mix.
+	dep := &voice.Deployment{
+		Name: "Flights", Rel: rel, Extractor: ex,
+		TargetPhrases: map[string][]string{"cancelled": {"cancellations"}},
+	}
+	log := dep.SimulateLog(voice.Table3Counts()["Flights"], 42)
+
+	var answered int
+	var lookupSum, baseTotalSum time.Duration
+	for _, entry := range log {
+		c := voice.Classify(entry.Text, ex)
+		if c.Type != voice.SQuery {
+			continue
+		}
+		sp, latency, ok := engine.Answer(store, c.Query)
+		if !ok {
+			continue
+		}
+		answered++
+		lookupSum += latency
+		if answered <= 3 {
+			fmt.Printf("Q: %q\nA: %s\n\n", entry.Text, sp.Text)
+		}
+
+		// For comparison, answer the same query with the sampling
+		// baseline (all work at query time).
+		ti, preds, err := c.Query.Resolve(rel)
+		if err != nil {
+			continue
+		}
+		view := rel.FullView().Select(preds)
+		if view.NumRows() == 0 {
+			view = rel.FullView()
+		}
+		b := baseline.SamplingAnswer(view, ti, nil, baseline.SamplingOptions{MaxFacts: 3, Seed: 42})
+		baseTotalSum += b.Total
+	}
+	if answered > 0 {
+		fmt.Printf("answered %d supported queries\n", answered)
+		fmt.Printf("avg lookup latency (ours):        %v\n", lookupSum/time.Duration(answered))
+		fmt.Printf("avg processing time (baseline):   %v\n", baseTotalSum/time.Duration(answered))
+	}
+}

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"cicero/internal/fact"
+	"cicero/internal/relation"
+)
+
+// Problem is one speech summarization instance ⟨R, F, m⟩ produced by the
+// problem generator: the query it answers, the data subset it summarizes,
+// and the dimensions facts may restrict.
+type Problem struct {
+	Query Query
+	// View is the data subset selected by the query predicates.
+	View *relation.View
+	// Target is the target column index.
+	Target int
+	// FreeDims lists dimension column indices facts may restrict (the
+	// configured dimensions minus those fixed by query predicates).
+	FreeDims []int
+	// Prior is the prior expectation used for this problem.
+	Prior fact.Prior
+}
+
+// GenerateFacts enumerates the candidate facts for the problem using the
+// configured fact width.
+func (p *Problem) GenerateFacts(maxFactDims int) []fact.Fact {
+	return fact.Generate(p.View, p.Target, fact.GenerateOptions{
+		MaxDims:  maxFactDims,
+		FreeDims: p.FreeDims,
+	})
+}
+
+// Problems enumerates every speech summarization problem for the
+// configuration: one per combination of a target column and a set of up
+// to MaxQueryLen equality predicates, considering all value combinations
+// that appear in the data (Section III). Queries whose subsets have fewer
+// than MinSubsetRows rows are skipped. The enumeration order is
+// deterministic.
+func Problems(rel *relation.Relation, cfg Config) ([]Problem, error) {
+	if err := cfg.Validate(rel); err != nil {
+		return nil, err
+	}
+	dimIdx := make([]int, len(cfg.Dimensions))
+	for i, d := range cfg.Dimensions {
+		dimIdx[i] = rel.Schema().DimIndex(d)
+	}
+	factDimIdx := make([]int, len(cfg.FactDimensions))
+	for i, d := range cfg.FactDimensions {
+		factDimIdx[i] = rel.Schema().DimIndex(d)
+	}
+	full := rel.FullView()
+
+	var problems []Problem
+	for _, target := range cfg.Targets {
+		ti := rel.Schema().TargetIndex(target)
+		var prior fact.Prior
+		switch cfg.Prior {
+		case PriorZero:
+			prior = fact.ConstantPrior(0)
+		case PriorGlobalMean:
+			prior = fact.MeanPrior(full, ti)
+		}
+		for _, querySet := range fact.DimSubsets(dimIdx, cfg.MaxQueryLen) {
+			inQuery := make(map[int]bool, len(querySet))
+			for _, d := range querySet {
+				inQuery[d] = true
+			}
+			free := make([]int, 0, len(factDimIdx))
+			for _, d := range factDimIdx {
+				if !inQuery[d] {
+					free = append(free, d)
+				}
+			}
+			for _, combo := range full.DistinctCombinations(querySet) {
+				preds := make([]relation.Predicate, len(querySet))
+				named := make([]NamedPredicate, len(querySet))
+				for i, d := range querySet {
+					preds[i] = relation.Predicate{Dim: d, Code: combo[i]}
+					named[i] = NamedPredicate{
+						Column: rel.Schema().Dimensions[d],
+						Value:  rel.Dim(d).Value(combo[i]),
+					}
+				}
+				view := full.Select(preds)
+				if view.NumRows() == 0 || view.NumRows() < cfg.MinSubsetRows {
+					continue
+				}
+				p := prior
+				if cfg.Prior == PriorSubsetMean {
+					p = fact.MeanPrior(view, ti)
+				}
+				problems = append(problems, Problem{
+					Query:    Query{Target: target, Predicates: named},
+					View:     view,
+					Target:   ti,
+					FreeDims: free,
+					Prior:    p,
+				})
+			}
+		}
+	}
+	return problems, nil
+}
+
+// CountProblems returns the number of problems Problems would generate,
+// without materializing views, for capacity planning (Theorem 10 bounds
+// this by O(t · (d choose l) · n^l)).
+func CountProblems(rel *relation.Relation, cfg Config) (int, error) {
+	if err := cfg.Validate(rel); err != nil {
+		return 0, err
+	}
+	dimIdx := make([]int, len(cfg.Dimensions))
+	for i, d := range cfg.Dimensions {
+		dimIdx[i] = rel.Schema().DimIndex(d)
+	}
+	full := rel.FullView()
+	perTarget := 0
+	for _, querySet := range fact.DimSubsets(dimIdx, cfg.MaxQueryLen) {
+		perTarget += len(full.DistinctCombinations(querySet))
+	}
+	return perTarget * len(cfg.Targets), nil
+}

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"cicero/internal/fact"
+	"cicero/internal/relation"
+)
+
+// Speech stores are written to disk after pre-processing so the run-time
+// component (a voice endpoint) can serve them without redoing the batch.
+// Fact scopes are serialized with column and value names, not dictionary
+// codes, so a store survives re-ingestion of the data with different
+// code assignment.
+
+// persistedFact is the serialized form of one fact.
+type persistedFact struct {
+	Columns []string `json:"columns,omitempty"`
+	Values  []string `json:"values,omitempty"`
+	Value   float64  `json:"value"`
+}
+
+// persistedSpeech is the serialized form of one stored speech.
+type persistedSpeech struct {
+	Query      Query           `json:"query"`
+	Facts      []persistedFact `json:"facts"`
+	Utility    float64         `json:"utility"`
+	PriorError float64         `json:"prior_error"`
+	Text       string          `json:"text"`
+}
+
+// persistedStore is the on-disk store format.
+type persistedStore struct {
+	Version  int               `json:"version"`
+	Dataset  string            `json:"dataset"`
+	Speeches []persistedSpeech `json:"speeches"`
+}
+
+// storeVersion is bumped on incompatible format changes.
+const storeVersion = 1
+
+// Save writes the store as JSON. rel resolves scope codes to names.
+func (s *Store) Save(w io.Writer, rel *relation.Relation) error {
+	out := persistedStore{Version: storeVersion, Dataset: rel.Name()}
+	for _, sp := range s.Speeches() {
+		ps := persistedSpeech{
+			Query:      sp.Query.Canonical(),
+			Utility:    sp.Utility,
+			PriorError: sp.PriorError,
+			Text:       sp.Text,
+		}
+		for _, f := range sp.Facts {
+			pf := persistedFact{Value: f.Value}
+			for i, d := range f.Scope.Dims {
+				pf.Columns = append(pf.Columns, rel.Schema().Dimensions[d])
+				pf.Values = append(pf.Values, rel.Dim(d).Value(f.Scope.Codes[i]))
+			}
+			ps.Facts = append(ps.Facts, pf)
+		}
+		out.Speeches = append(out.Speeches, ps)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// SaveFile writes the store to a file path.
+func (s *Store) SaveFile(path string, rel *relation.Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Save(f, rel)
+}
+
+// LoadStore reads a store written by Save, re-resolving scope names
+// against the relation's current dictionaries. Facts whose values no
+// longer appear in the data are dropped from their speech (the speech
+// text is kept verbatim).
+func LoadStore(r io.Reader, rel *relation.Relation) (*Store, error) {
+	var in persistedStore
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("decode speech store: %w", err)
+	}
+	if in.Version != storeVersion {
+		return nil, fmt.Errorf("speech store version %d, want %d", in.Version, storeVersion)
+	}
+	store := NewStore()
+	for _, ps := range in.Speeches {
+		sp := &StoredSpeech{
+			Query:      ps.Query,
+			Utility:    ps.Utility,
+			PriorError: ps.PriorError,
+			Text:       ps.Text,
+		}
+		for _, pf := range ps.Facts {
+			var dims []int
+			var codes []int32
+			ok := true
+			for i, col := range pf.Columns {
+				d := rel.Schema().DimIndex(col)
+				if d < 0 {
+					ok = false
+					break
+				}
+				code, found := rel.Dim(d).Code(pf.Values[i])
+				if !found {
+					ok = false
+					break
+				}
+				dims = append(dims, d)
+				codes = append(codes, code)
+			}
+			if !ok {
+				continue
+			}
+			sp.Facts = append(sp.Facts, fact.Fact{
+				Scope: fact.NewScope(dims, codes),
+				Value: pf.Value,
+			})
+		}
+		store.Add(sp)
+	}
+	return store, nil
+}
+
+// LoadStoreFile reads a store from a file path.
+func LoadStoreFile(path string, rel *relation.Relation) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadStore(f, rel)
+}

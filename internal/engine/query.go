@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cicero/internal/relation"
+)
+
+// NamedPredicate is an equality predicate expressed with column and value
+// names, the form in which queries arrive from the voice front-end.
+type NamedPredicate struct {
+	Column string `json:"column"`
+	Value  string `json:"value"`
+}
+
+// Query is a supported voice query: a target column and a conjunction of
+// equality predicates defining the data subset of interest.
+type Query struct {
+	Target     string           `json:"target"`
+	Predicates []NamedPredicate `json:"predicates,omitempty"`
+}
+
+// Canonical returns a copy with predicates sorted by column then value.
+func (q Query) Canonical() Query {
+	out := Query{Target: q.Target, Predicates: append([]NamedPredicate(nil), q.Predicates...)}
+	sort.Slice(out.Predicates, func(i, j int) bool {
+		if out.Predicates[i].Column != out.Predicates[j].Column {
+			return out.Predicates[i].Column < out.Predicates[j].Column
+		}
+		return out.Predicates[i].Value < out.Predicates[j].Value
+	})
+	return out
+}
+
+// Key returns a canonical string identity for store lookups.
+func (q Query) Key() string {
+	c := q.Canonical()
+	var b strings.Builder
+	b.WriteString(c.Target)
+	for _, p := range c.Predicates {
+		fmt.Fprintf(&b, "|%s=%s", p.Column, p.Value)
+	}
+	return b.String()
+}
+
+// String renders the query for logs and demos.
+func (q Query) String() string {
+	if len(q.Predicates) == 0 {
+		return fmt.Sprintf("%s overall", q.Target)
+	}
+	parts := make([]string, len(q.Predicates))
+	for i, p := range q.Predicates {
+		parts[i] = fmt.Sprintf("%s=%s", p.Column, p.Value)
+	}
+	return fmt.Sprintf("%s where %s", q.Target, strings.Join(parts, " and "))
+}
+
+// Resolve translates the query's named predicates into relation
+// predicates and returns the target column index.
+func (q Query) Resolve(rel *relation.Relation) (int, []relation.Predicate, error) {
+	ti := rel.Schema().TargetIndex(q.Target)
+	if ti < 0 {
+		return 0, nil, fmt.Errorf("query: relation %s has no target %q", rel.Name(), q.Target)
+	}
+	preds := make([]relation.Predicate, 0, len(q.Predicates))
+	for _, p := range q.Predicates {
+		rp, err := rel.PredicateByName(p.Column, p.Value)
+		if err != nil {
+			return 0, nil, err
+		}
+		preds = append(preds, rp)
+	}
+	return ti, preds, nil
+}
+
+// SubsetOf reports whether q's predicates are a subset of other's (same
+// target required). The run-time matcher uses this to find the most
+// specific pre-generated speech covering an incoming query.
+func (q Query) SubsetOf(other Query) bool {
+	if q.Target != other.Target {
+		return false
+	}
+	have := make(map[NamedPredicate]bool, len(other.Predicates))
+	for _, p := range other.Predicates {
+		have[p] = true
+	}
+	for _, p := range q.Predicates {
+		if !have[p] {
+			return false
+		}
+	}
+	return true
+}

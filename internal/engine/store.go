@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"sort"
+
+	"cicero/internal/fact"
+)
+
+// StoredSpeech is one pre-generated speech answer.
+type StoredSpeech struct {
+	Query      Query
+	Facts      []fact.Fact
+	Utility    float64
+	PriorError float64
+	Text       string
+}
+
+// Store holds the pre-generated speeches and implements the run-time
+// matcher of Section III: an incoming query is answered by the speech for
+// exactly its data subset if one exists, otherwise by the speech
+// describing the most specific subset that contains the queried one
+// (predicates S ⊆ Q with |S ∩ Q| maximal).
+type Store struct {
+	byKey    map[string]*StoredSpeech
+	byTarget map[string][]*StoredSpeech
+}
+
+// NewStore returns an empty speech store.
+func NewStore() *Store {
+	return &Store{
+		byKey:    make(map[string]*StoredSpeech),
+		byTarget: make(map[string][]*StoredSpeech),
+	}
+}
+
+// Add inserts a speech, replacing any previous speech for the same query.
+func (s *Store) Add(sp *StoredSpeech) {
+	key := sp.Query.Key()
+	if old, ok := s.byKey[key]; ok {
+		// Replace in the target list.
+		list := s.byTarget[sp.Query.Target]
+		for i, e := range list {
+			if e == old {
+				list[i] = sp
+				break
+			}
+		}
+		s.byKey[key] = sp
+		return
+	}
+	s.byKey[key] = sp
+	s.byTarget[sp.Query.Target] = append(s.byTarget[sp.Query.Target], sp)
+}
+
+// Len returns the number of stored speeches.
+func (s *Store) Len() int { return len(s.byKey) }
+
+// Exact returns the speech pre-generated for precisely this query.
+func (s *Store) Exact(q Query) (*StoredSpeech, bool) {
+	sp, ok := s.byKey[q.Key()]
+	return sp, ok
+}
+
+// Lookup returns the best speech for the query: the exact match when
+// available, otherwise the most specific generalization (maximal number
+// of shared predicates). The boolean reports whether any speech for the
+// target exists.
+func (s *Store) Lookup(q Query) (*StoredSpeech, bool) {
+	if sp, ok := s.Exact(q); ok {
+		return sp, true
+	}
+	var best *StoredSpeech
+	bestShared := -1
+	for _, sp := range s.byTarget[q.Target] {
+		if !sp.Query.SubsetOf(q) {
+			continue
+		}
+		if shared := len(sp.Query.Predicates); shared > bestShared {
+			best, bestShared = sp, shared
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	return best, true
+}
+
+// Speeches returns all stored speeches in deterministic (key) order.
+func (s *Store) Speeches() []*StoredSpeech {
+	keys := make([]string, 0, len(s.byKey))
+	for k := range s.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*StoredSpeech, len(keys))
+	for i, k := range keys {
+		out[i] = s.byKey[k]
+	}
+	return out
+}

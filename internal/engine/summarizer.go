@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cicero/internal/relation"
+	"cicero/internal/summarize"
+)
+
+// Algorithm identifies a summarization method for the batch pre-processor,
+// matching the variants of Figure 3.
+type Algorithm string
+
+const (
+	// AlgExact is E: Algorithm 1, seeded with the greedy lower bound.
+	AlgExact Algorithm = "E"
+	// AlgGreedyBase is G-B: Algorithm 2 without fact pruning.
+	AlgGreedyBase Algorithm = "G-B"
+	// AlgGreedyPrune is G-P: greedy with naive fact pruning.
+	AlgGreedyPrune Algorithm = "G-P"
+	// AlgGreedyOpt is G-O: greedy with cost-optimized fact pruning.
+	AlgGreedyOpt Algorithm = "G-O"
+)
+
+// Algorithms lists all supported methods in Figure 3 order.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgExact, AlgGreedyBase, AlgGreedyPrune, AlgGreedyOpt}
+}
+
+// solve runs the selected algorithm on a prepared evaluator.
+func solve(alg Algorithm, e *summarize.Evaluator, opts summarize.Options) summarize.Summary {
+	switch alg {
+	case AlgExact:
+		greedy := summarize.Greedy(e, opts)
+		exactOpts := opts
+		exactOpts.LowerBound = greedy.Utility
+		exact := summarize.Exact(e, exactOpts)
+		// A timed-out exact run may fall below the greedy seed; the
+		// greedy speech is then the best known answer (the paper's runs
+		// with a 48h timeout behave the same way).
+		if exact.Utility < greedy.Utility {
+			greedy.Stats.TimedOut = exact.Stats.TimedOut
+			return greedy
+		}
+		return exact
+	case AlgGreedyPrune:
+		opts.Pruning = summarize.PruneNaive
+		return summarize.Greedy(e, opts)
+	case AlgGreedyOpt:
+		opts.Pruning = summarize.PruneOptimized
+		return summarize.Greedy(e, opts)
+	default:
+		opts.Pruning = summarize.PruneNone
+		return summarize.Greedy(e, opts)
+	}
+}
+
+// BatchStats summarizes a pre-processing run.
+type BatchStats struct {
+	// Problems is the number of summarization problems solved.
+	Problems int
+	// Speeches is the number of speeches stored (= problems with at
+	// least the minimum subset size).
+	Speeches int
+	// TotalFacts accumulates candidate fact counts across problems.
+	TotalFacts int
+	// Elapsed is the wall-clock pre-processing time.
+	Elapsed time.Duration
+	// PerQuery is the average pre-processing time per speech.
+	PerQuery time.Duration
+	// SumScaledUtility accumulates scaled utilities for averaging.
+	SumScaledUtility float64
+	// TimedOut counts problems where the exact algorithm hit its timeout.
+	TimedOut int
+}
+
+// AvgScaledUtility returns the mean scaled utility across problems.
+func (b BatchStats) AvgScaledUtility() float64 {
+	if b.Problems == 0 {
+		return 0
+	}
+	return b.SumScaledUtility / float64(b.Problems)
+}
+
+// Summarizer executes pre-processing: it generates all problems for a
+// configuration and solves each with the selected algorithm, storing
+// rendered speeches for run-time lookup.
+type Summarizer struct {
+	Rel      *relation.Relation
+	Config   Config
+	Alg      Algorithm
+	Template Template
+	// Opts carries algorithm parameters; MaxFacts is overridden by the
+	// configuration.
+	Opts summarize.Options
+	// Workers bounds concurrent problem solving. Values below 2 solve
+	// sequentially. Problems are independent (each builds its own
+	// evaluator), so the batch parallelizes embarrassingly.
+	Workers int
+	// Progress, if non-nil, receives (solved, total) after every problem.
+	Progress func(done, total int)
+}
+
+// Preprocess runs the batch and returns the populated speech store.
+func (s *Summarizer) Preprocess() (*Store, BatchStats, error) {
+	problems, err := Problems(s.Rel, s.Config)
+	if err != nil {
+		return nil, BatchStats{}, err
+	}
+	return s.PreprocessProblems(problems)
+}
+
+// PreprocessProblems solves an explicit problem list (used by the
+// experiment harness to subsample large workloads).
+func (s *Summarizer) PreprocessProblems(problems []Problem) (*Store, BatchStats, error) {
+	if s.Alg == "" {
+		s.Alg = AlgGreedyOpt
+	}
+	start := time.Now()
+	opts := s.Opts
+	opts.MaxFacts = s.Config.MaxFacts
+
+	summaries := make([]summarize.Summary, len(problems))
+	if s.Workers > 1 {
+		if err := s.solveParallel(problems, summaries, opts); err != nil {
+			return nil, BatchStats{}, err
+		}
+	} else {
+		for i := range problems {
+			sum, err := s.solveProblem(&problems[i], opts)
+			if err != nil {
+				return nil, BatchStats{}, err
+			}
+			summaries[i] = sum
+			if s.Progress != nil {
+				s.Progress(i+1, len(problems))
+			}
+		}
+	}
+
+	store := NewStore()
+	var stats BatchStats
+	for i := range problems {
+		p := &problems[i]
+		sum := summaries[i]
+		stats.Problems++
+		stats.TotalFacts += len(sum.Facts)
+		stats.SumScaledUtility += sum.ScaledUtility()
+		if sum.Stats.TimedOut {
+			stats.TimedOut++
+		}
+		store.Add(&StoredSpeech{
+			Query:      p.Query,
+			Facts:      sum.Facts,
+			Utility:    sum.Utility,
+			PriorError: sum.PriorError,
+			Text:       s.Template.Render(s.Rel, p.Query, sum.Facts),
+		})
+		stats.Speeches++
+	}
+	stats.Elapsed = time.Since(start)
+	if stats.Speeches > 0 {
+		stats.PerQuery = stats.Elapsed / time.Duration(stats.Speeches)
+	}
+	return store, stats, nil
+}
+
+// solveParallel fans problems out over s.Workers goroutines. The first
+// error cancels nothing in flight but is reported after the wave drains
+// (problems are cheap relative to coordination).
+func (s *Summarizer) solveParallel(problems []Problem, summaries []summarize.Summary, opts summarize.Options) error {
+	type job struct{ idx int }
+	jobs := make(chan job)
+	errs := make(chan error, s.Workers)
+	var wg sync.WaitGroup
+	var done int64
+	for w := 0; w < s.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				sum, err := s.solveProblem(&problems[j.idx], opts)
+				if err != nil {
+					errs <- err
+					continue
+				}
+				summaries[j.idx] = sum
+				if s.Progress != nil {
+					s.Progress(int(atomic.AddInt64(&done, 1)), len(problems))
+				}
+			}
+		}()
+	}
+	for i := range problems {
+		jobs <- job{idx: i}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// solveProblem generates facts for one problem and runs the algorithm.
+func (s *Summarizer) solveProblem(p *Problem, opts summarize.Options) (summarize.Summary, error) {
+	facts := p.GenerateFacts(s.Config.MaxFactDims)
+	if len(facts) == 0 {
+		return summarize.Summary{}, fmt.Errorf("problem %s: no candidate facts", p.Query.Key())
+	}
+	e := summarize.NewEvaluator(p.View, p.Target, facts, p.Prior)
+	return solve(s.Alg, e, opts), nil
+}
+
+// Answer performs a run-time lookup and reports the latency, the metric
+// of Figure 10: our system merely retrieves the best pre-generated
+// speech, so latency is microseconds instead of the baseline's sampling
+// seconds.
+func Answer(store *Store, q Query) (*StoredSpeech, time.Duration, bool) {
+	start := time.Now()
+	sp, ok := store.Lookup(q)
+	return sp, time.Since(start), ok
+}

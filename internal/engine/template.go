@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"cicero/internal/fact"
+	"cicero/internal/relation"
+)
+
+// Template renders fact sets into speech text, the "Query to Speech"
+// stage of Figure 2. The paper uses a simple text template with
+// placeholders for the typical value and a variable number of dimension
+// columns; speeches are prefixed with a description of the summarized
+// data subset so users know the semantics of the answer.
+type Template struct {
+	// Unit is appended after values, e.g. "minutes" or "out of 1000".
+	Unit string
+	// TargetPhrase overrides the spoken name of the target column, e.g.
+	// "cancellation probability" instead of "cancelled".
+	TargetPhrase string
+	// Percent renders values multiplied by 100 with a percent sign,
+	// matching the deployment's probability outputs.
+	Percent bool
+}
+
+// formatValue renders a typical value.
+func (t Template) formatValue(v float64) string {
+	if t.Percent {
+		return fmt.Sprintf("%.0f%%", v*100)
+	}
+	s := fmt.Sprintf("%.3g", v)
+	if t.Unit != "" {
+		s += " " + t.Unit
+	}
+	return s
+}
+
+// scopePhrase renders a fact scope as natural-ish language ("for region
+// Northeast and season Winter"), or "overall" for the empty scope.
+func scopePhrase(rel *relation.Relation, s fact.Scope) string {
+	if s.Len() == 0 {
+		return "overall"
+	}
+	parts := make([]string, s.Len())
+	for i, d := range s.Dims {
+		parts[i] = fmt.Sprintf("%s %s",
+			strings.ReplaceAll(rel.Schema().Dimensions[d], "_", " "),
+			rel.Dim(d).Value(s.Codes[i]))
+	}
+	return "for " + strings.Join(parts, " and ")
+}
+
+// queryPhrase renders the summarized data subset description that
+// prefixes each speech.
+func queryPhrase(q Query) string {
+	if len(q.Predicates) == 0 {
+		return fmt.Sprintf("Considering all data on %s.", strings.ReplaceAll(q.Target, "_", " "))
+	}
+	parts := make([]string, len(q.Predicates))
+	for i, p := range q.Predicates {
+		parts[i] = fmt.Sprintf("%s %s", strings.ReplaceAll(p.Column, "_", " "), p.Value)
+	}
+	return fmt.Sprintf("Considering %s for %s.",
+		strings.ReplaceAll(q.Target, "_", " "), strings.Join(parts, " and "))
+}
+
+// Render produces the full speech text for a query and its selected
+// facts: a data subset prefix, a leading sentence for the first fact, and
+// "It is X for Y" follow-ups mirroring the style of Table II.
+func (t Template) Render(rel *relation.Relation, q Query, facts []fact.Fact) string {
+	target := t.TargetPhrase
+	if target == "" {
+		target = strings.ReplaceAll(q.Target, "_", " ")
+	}
+	var b strings.Builder
+	b.WriteString(queryPhrase(q))
+	if len(facts) == 0 {
+		fmt.Fprintf(&b, " No further data is available on %s.", target)
+		return b.String()
+	}
+	for i, f := range facts {
+		if i == 0 {
+			fmt.Fprintf(&b, " The average %s is about %s %s.",
+				target, t.formatValue(f.Value), scopePhrase(rel, f.Scope))
+			continue
+		}
+		fmt.Fprintf(&b, " It is %s %s.", t.formatValue(f.Value), scopePhrase(rel, f.Scope))
+	}
+	return b.String()
+}

@@ -1,0 +1,127 @@
+// Package fact implements the problem model of Section II of the paper:
+// facts with scopes and typical values, speeches (fact sets), user
+// expectation models, priors, and the deviation/utility criterion that
+// speech summarization optimizes.
+package fact
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cicero/internal/relation"
+)
+
+// Scope assigns values to a subset of dimension columns (Definition 2).
+// Dims holds dimension column indices in strictly ascending order and
+// Codes the corresponding dictionary codes. A row is within scope when it
+// agrees with every (dim, code) pair.
+type Scope struct {
+	Dims  []int
+	Codes []int32
+}
+
+// NewScope builds a scope from parallel dim/code slices, normalizing to
+// ascending dimension order. It panics if the slices differ in length or a
+// dimension repeats, since that indicates a programming error.
+func NewScope(dims []int, codes []int32) Scope {
+	if len(dims) != len(codes) {
+		panic(fmt.Sprintf("fact: scope with %d dims but %d codes", len(dims), len(codes)))
+	}
+	s := Scope{
+		Dims:  append([]int(nil), dims...),
+		Codes: append([]int32(nil), codes...),
+	}
+	sort.Sort(scopeSorter{&s})
+	for i := 1; i < len(s.Dims); i++ {
+		if s.Dims[i] == s.Dims[i-1] {
+			panic(fmt.Sprintf("fact: scope restricts dimension %d twice", s.Dims[i]))
+		}
+	}
+	return s
+}
+
+type scopeSorter struct{ s *Scope }
+
+func (x scopeSorter) Len() int           { return len(x.s.Dims) }
+func (x scopeSorter) Less(i, j int) bool { return x.s.Dims[i] < x.s.Dims[j] }
+func (x scopeSorter) Swap(i, j int) {
+	x.s.Dims[i], x.s.Dims[j] = x.s.Dims[j], x.s.Dims[i]
+	x.s.Codes[i], x.s.Codes[j] = x.s.Codes[j], x.s.Codes[i]
+}
+
+// Len returns the number of restricted dimensions.
+func (s Scope) Len() int { return len(s.Dims) }
+
+// Matches reports whether relation row r is within scope (D ⊆ Dr).
+func (s Scope) Matches(rel *relation.Relation, row int32) bool {
+	for i, d := range s.Dims {
+		if rel.Dim(d).CodeAt(int(row)) != s.Codes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether s restricts a subset of other's dimensions with
+// consistent values, i.e. every row within other's scope is within s's.
+func (s Scope) SubsetOf(other Scope) bool {
+	j := 0
+	for i, d := range s.Dims {
+		for j < len(other.Dims) && other.Dims[j] < d {
+			j++
+		}
+		if j >= len(other.Dims) || other.Dims[j] != d || other.Codes[j] != s.Codes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string key identifying the scope, used for
+// deduplication and map indexing.
+func (s Scope) Key() string {
+	var b strings.Builder
+	for i, d := range s.Dims {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%d=%d", d, s.Codes[i])
+	}
+	return b.String()
+}
+
+// Equal reports whether two scopes restrict the same dimensions to the
+// same values.
+func (s Scope) Equal(other Scope) bool {
+	if len(s.Dims) != len(other.Dims) {
+		return false
+	}
+	for i := range s.Dims {
+		if s.Dims[i] != other.Dims[i] || s.Codes[i] != other.Codes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Describe renders the scope as human-readable column=value pairs.
+func (s Scope) Describe(rel *relation.Relation) string {
+	if len(s.Dims) == 0 {
+		return "overall"
+	}
+	parts := make([]string, len(s.Dims))
+	for i, d := range s.Dims {
+		parts[i] = fmt.Sprintf("%s=%s", rel.Schema().Dimensions[d], rel.Dim(d).Value(s.Codes[i]))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Predicates converts the scope into relation predicates.
+func (s Scope) Predicates() []relation.Predicate {
+	out := make([]relation.Predicate, len(s.Dims))
+	for i := range s.Dims {
+		out[i] = relation.Predicate{Dim: s.Dims[i], Code: s.Codes[i]}
+	}
+	return out
+}

@@ -1,0 +1,354 @@
+package relalg
+
+import (
+	"fmt"
+	"math"
+
+	"cicero/internal/fact"
+	"cicero/internal/relation"
+)
+
+// This file expresses the paper's algorithms as relational operator
+// plans over Table, mirroring the pseudo-code line by line:
+//
+//	Algorithm 2 (greedy):  U ← Γ_{ΣU,F}(R ⋊⋉M F);  f* ← argmax;  R ← Π_{E,R}(R ⋊⋉M f*)
+//	Algorithm 1 (exact):   S ← Γ_{ΣU,F}(R ⋊⋉M F);  S ← σ_P(Π(S × F)) …;  Γ_{ΣU,S}(R ⋊⋉M S)
+//
+// The direct implementations in internal/summarize compute the same
+// results with specialized data structures; tests cross-validate both.
+
+// dimCol names the fact-table column holding dimension d's code.
+func dimCol(d int) string { return fmt.Sprintf("d%d", d) }
+
+// FactsTable materializes candidate facts as a relation: one nullable
+// int column per dimension (NULL = unrestricted), the typical value, and
+// a fact identifier.
+func FactsTable(rel *relation.Relation, facts []fact.Fact) *Table {
+	cols := []*Column{IntCol("fid")}
+	for d := 0; d < rel.NumDims(); d++ {
+		cols = append(cols, IntCol(dimCol(d)))
+	}
+	cols = append(cols, FloatCol("value"))
+	t := NewTable(cols...)
+	for fi, f := range facts {
+		vals := make([]any, 0, rel.NumDims()+2)
+		vals = append(vals, int64(fi))
+		restricted := map[int]int32{}
+		for i, d := range f.Scope.Dims {
+			restricted[d] = f.Scope.Codes[i]
+		}
+		for d := 0; d < rel.NumDims(); d++ {
+			if code, ok := restricted[d]; ok {
+				vals = append(vals, int64(code))
+			} else {
+				vals = append(vals, nil)
+			}
+		}
+		vals = append(vals, f.Value)
+		t.AppendRow(vals...)
+	}
+	return t
+}
+
+// DataTable materializes the data subset as a relation with the
+// dimension codes, the true target value, and the expectation column E
+// initialized with the prior (Algorithm 2 stores user expectations "as a
+// column of the updated relation R").
+func DataTable(view *relation.View, target int, prior fact.Prior) *Table {
+	cols := []*Column{IntCol("rid")}
+	for d := 0; d < view.Rel.NumDims(); d++ {
+		cols = append(cols, IntCol(dimCol(d)))
+	}
+	cols = append(cols, FloatCol("truth"), FloatCol("E"))
+	t := NewTable(cols...)
+	n := view.NumRows()
+	for i := 0; i < n; i++ {
+		row := view.Row(i)
+		vals := make([]any, 0, view.Rel.NumDims()+3)
+		vals = append(vals, int64(i))
+		for d := 0; d < view.Rel.NumDims(); d++ {
+			vals = append(vals, int64(view.Rel.Dim(d).CodeAt(int(row))))
+		}
+		vals = append(vals,
+			view.Rel.Target(target).At(int(row)),
+			prior.At(row))
+		t.AppendRow(vals...)
+	}
+	return t
+}
+
+// scopeMatch is the join condition M: for every dimension, the fact
+// value is NULL or equals the row value.
+func scopeMatch(numDims int) func(data, f Row) bool {
+	return func(data, f Row) bool {
+		for d := 0; d < numDims; d++ {
+			fv, ok := f.Int("f." + dimCol(d))
+			if !ok {
+				continue
+			}
+			dv, _ := data.Int(dimCol(d))
+			if dv != fv {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// utilityGains computes Γ_{ΣU,F}(R ⋊⋉M F): per-fact summed utility gain
+// against the current expectation column. This is Line 7 of Algorithm 2
+// and (with E = prior) Line 6 of Algorithm 1.
+func utilityGains(data, facts *Table, numDims int) *Table {
+	joined := data.Join(prefixed(facts, "f."), "", scopeMatch(numDims))
+	withGain := joined.Extend("U", func(r Row) float64 {
+		truth := r.MustFloat("truth")
+		e := r.MustFloat("E")
+		v := r.MustFloat("f.value")
+		gain := math.Abs(e-truth) - math.Abs(v-truth)
+		if gain < 0 {
+			return 0
+		}
+		return gain
+	})
+	return withGain.GroupBy([]string{"f.fid"}, []Agg{{Fn: Sum, Col: "U", As: "U"}})
+}
+
+// prefixed returns a view of t with all columns renamed with prefix.
+// Join already prefixes its right input, but utilityGains joins data on
+// the left; renaming the fact side keeps column names unambiguous.
+func prefixed(t *Table, prefix string) *Table {
+	out := &Table{byName: map[string]int{}}
+	for _, c := range t.cols {
+		out.addColumn(&Column{
+			Name: prefix + c.Name, Type: c.Type,
+			Ints: c.Ints, Floats: c.Floats, Nulls: c.Nulls,
+		})
+	}
+	out.rows = t.rows
+	return out
+}
+
+// GreedyPlan executes Algorithm 2 as a relational plan and returns the
+// selected fact indices and the achieved utility.
+func GreedyPlan(view *relation.View, target int, facts []fact.Fact, prior fact.Prior, maxFacts int) ([]int, float64) {
+	numDims := view.Rel.NumDims()
+	data := DataTable(view, target, prior)
+	factsT := FactsTable(view.Rel, facts)
+
+	priorError := 0.0
+	for i := 0; i < data.NumRows(); i++ {
+		r := Row{data, i}
+		priorError += math.Abs(r.MustFloat("E") - r.MustFloat("truth"))
+	}
+
+	var chosen []int
+	chosenSet := map[int]bool{}
+	for iter := 0; iter < maxFacts; iter++ {
+		gains := utilityGains(data, factsT, numDims)
+		// argmax over facts not yet selected, smallest fid on ties (the
+		// same tie-break as the direct implementation).
+		best, bestGain := -1, 0.0
+		for i := 0; i < gains.NumRows(); i++ {
+			r := Row{gains, i}
+			fid := int(r.MustInt("f.fid"))
+			if chosenSet[fid] {
+				continue
+			}
+			u := r.MustFloat("U")
+			if u > bestGain || (u == bestGain && u > 0 && (best < 0 || fid < best)) {
+				best, bestGain = fid, u
+			}
+		}
+		if best < 0 || bestGain <= 0 {
+			break
+		}
+		// R ← Π_{E,R}(R ⋊⋉M f*): recompute the expectation column under
+		// the Closest model for rows within the new fact's scope.
+		f := facts[best]
+		data = data.Extend("E2", func(r Row) float64 {
+			e := r.MustFloat("E")
+			truth := r.MustFloat("truth")
+			inScope := true
+			for i, d := range f.Scope.Dims {
+				dv, _ := r.Int(dimCol(d))
+				if dv != int64(f.Scope.Codes[i]) {
+					inScope = false
+					break
+				}
+			}
+			if inScope && math.Abs(f.Value-truth) < math.Abs(e-truth) {
+				return f.Value
+			}
+			return e
+		})
+		cols := []string{"rid"}
+		for d := 0; d < numDims; d++ {
+			cols = append(cols, dimCol(d))
+		}
+		cols = append(cols, "truth", "E2")
+		data = rename(data.Project(cols...), "E2", "E")
+		chosen = append(chosen, best)
+		chosenSet[best] = true
+	}
+
+	residual := 0.0
+	for i := 0; i < data.NumRows(); i++ {
+		r := Row{data, i}
+		residual += math.Abs(r.MustFloat("E") - r.MustFloat("truth"))
+	}
+	return chosen, priorError - residual
+}
+
+// rename returns the table with one column renamed.
+func rename(t *Table, from, to string) *Table {
+	out := &Table{byName: map[string]int{}}
+	for _, c := range t.cols {
+		name := c.Name
+		if name == from {
+			name = to
+		}
+		out.addColumn(&Column{Name: name, Type: c.Type, Ints: c.Ints, Floats: c.Floats, Nulls: c.Nulls})
+	}
+	out.rows = t.rows
+	return out
+}
+
+// ExactPlan executes Algorithm 1 as a relational plan: single-fact
+// utilities, iterative speech expansion via Cartesian product with the
+// two pruning conditions σ_P, and a final utility computation joining
+// data with surviving speeches. Returns selected fact indices and the
+// optimal utility. b is the lower utility bound (Algorithm 1's input).
+func ExactPlan(view *relation.View, target int, facts []fact.Fact, prior fact.Prior, maxFacts int, b float64) ([]int, float64) {
+	numDims := view.Rel.NumDims()
+	data := DataTable(view, target, prior)
+	factsT := FactsTable(view.Rel, facts)
+
+	// Line 6: S ← Γ_{ΣU,F}(R ⋊⋉M F) — single-fact utilities.
+	singles := utilityGains(data, factsT, numDims)
+	utils := make([]float64, len(facts))
+	for i := 0; i < singles.NumRows(); i++ {
+		r := Row{singles, i}
+		utils[int(r.MustInt("f.fid"))] = r.MustFloat("U")
+	}
+
+	// Speeches table: fact ids f1..fm (NULL beyond current length), the
+	// upper utility bound S.U (sum of single-fact utilities, Lemma 2)
+	// and the last-added fact's utility S.UP (permutation pruning).
+	// Column structs hold data, so every table needs fresh ones.
+	newSpeechTable := func() *Table {
+		cols := []*Column{}
+		for i := 0; i < maxFacts; i++ {
+			cols = append(cols, IntCol(fmt.Sprintf("f%d", i+1)))
+		}
+		cols = append(cols, FloatCol("SU"), FloatCol("SUP"))
+		return NewTable(cols...)
+	}
+	speeches := newSpeechTable()
+	for fi := range facts {
+		vals := make([]any, 0, maxFacts+2)
+		vals = append(vals, int64(fi))
+		for i := 1; i < maxFacts; i++ {
+			vals = append(vals, nil)
+		}
+		vals = append(vals, utils[fi], utils[fi])
+		speeches.AppendRow(vals...)
+	}
+
+	// Lines 8-11: expand speeches, pruning with σ_P. The cross product
+	// S × F pairs every partial speech with every candidate fact.
+	for i := 2; i <= maxFacts; i++ {
+		remaining := float64(maxFacts - i + 1)
+		crossed := speeches.Join(factsT, "f.", func(Row, Row) bool { return true })
+		expanded := newSpeechTable()
+		for ri := 0; ri < crossed.NumRows(); ri++ {
+			r := Row{crossed, ri}
+			fu := utils[int(r.MustInt("f.fid"))]
+			// Pruning condition 1: facts in decreasing single-fact
+			// utility order (ties broken by id to avoid duplicates).
+			sup := r.MustFloat("SUP")
+			lastID := r.MustInt(fmt.Sprintf("f%d", i-1))
+			newID := r.MustInt("f.fid")
+			if fu > sup || (fu == sup && newID <= lastID) {
+				continue
+			}
+			// Pruning condition 2: (b − S.U)/r ≤ F.U must hold.
+			su := r.MustFloat("SU")
+			if su+remaining*fu < b-1e-9 {
+				continue
+			}
+			vals := make([]any, 0, maxFacts+2)
+			for j := 1; j <= maxFacts; j++ {
+				if j == i {
+					vals = append(vals, newID)
+					continue
+				}
+				if v, ok := r.Int(fmt.Sprintf("f%d", j)); ok {
+					vals = append(vals, v)
+				} else {
+					vals = append(vals, nil)
+				}
+			}
+			vals = append(vals, su+fu, fu)
+			expanded.AppendRow(vals...)
+		}
+		// "Up to m facts": shorter speeches stay candidates alongside
+		// their expansions.
+		for ri := 0; ri < speeches.NumRows(); ri++ {
+			copyRow(expanded, speeches, ri)
+		}
+		speeches = expanded
+	}
+
+	// Lines 13-15: exact utility of surviving speeches via the final
+	// join (M: row within scope of at least one speech fact), then
+	// argmax. Computed speech-by-speech over the data table.
+	bestIdx, bestU := -1, -1.0
+	for si := 0; si < speeches.NumRows(); si++ {
+		r := Row{speeches, si}
+		var members []int
+		for j := 1; j <= maxFacts; j++ {
+			if v, ok := r.Int(fmt.Sprintf("f%d", j)); ok {
+				members = append(members, int(v))
+			}
+		}
+		u := 0.0
+		for di := 0; di < data.NumRows(); di++ {
+			dr := Row{data, di}
+			truth := dr.MustFloat("truth")
+			dev := math.Abs(dr.MustFloat("E") - truth)
+			best := dev
+			for _, fi := range members {
+				f := facts[fi]
+				match := true
+				for k, d := range f.Scope.Dims {
+					dv, _ := dr.Int(dimCol(d))
+					if dv != int64(f.Scope.Codes[k]) {
+						match = false
+						break
+					}
+				}
+				if match {
+					if d := math.Abs(f.Value - truth); d < best {
+						best = d
+					}
+				}
+			}
+			u += dev - best
+		}
+		if u > bestU {
+			bestU = u
+			bestIdx = si
+		}
+	}
+	if bestIdx < 0 {
+		return nil, 0
+	}
+	r := Row{speeches, bestIdx}
+	var chosen []int
+	for j := 1; j <= maxFacts; j++ {
+		if v, ok := r.Int(fmt.Sprintf("f%d", j)); ok {
+			chosen = append(chosen, int(v))
+		}
+	}
+	return chosen, bestU
+}

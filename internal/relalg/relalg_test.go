@@ -1,0 +1,264 @@
+package relalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cicero/internal/fact"
+	"cicero/internal/relation"
+	"cicero/internal/summarize"
+)
+
+func TestTableBasics(t *testing.T) {
+	tbl := NewTable(IntCol("a"), FloatCol("b"))
+	tbl.AppendRow(int64(1), 2.5)
+	tbl.AppendRow(nil, 3.5)
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	r := Row{tbl, 0}
+	if v, ok := r.Int("a"); !ok || v != 1 {
+		t.Errorf("Int = %v %v", v, ok)
+	}
+	if v := r.MustFloat("b"); v != 2.5 {
+		t.Errorf("Float = %v", v)
+	}
+	if _, ok := (Row{tbl, 1}).Int("a"); ok {
+		t.Error("NULL should read as not-ok")
+	}
+	cols := tbl.Columns()
+	if len(cols) != 2 || cols[0] != "a" {
+		t.Errorf("columns = %v", cols)
+	}
+}
+
+func TestTablePanics(t *testing.T) {
+	tbl := NewTable(IntCol("a"))
+	for _, f := range []func(){
+		func() { tbl.AppendRow(int64(1), 2.0) },       // arity
+		func() { tbl.AppendRow("str") },               // type
+		func() { tbl.col("missing") },                 // unknown column
+		func() { NewTable(IntCol("x"), IntCol("x")) }, // duplicate
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSelectProjectExtend(t *testing.T) {
+	tbl := NewTable(IntCol("k"), FloatCol("v"))
+	for i := 0; i < 10; i++ {
+		tbl.AppendRow(int64(i%2), float64(i))
+	}
+	even := tbl.Select(func(r Row) bool { v, _ := r.Int("k"); return v == 0 })
+	if even.NumRows() != 5 {
+		t.Fatalf("selected = %d", even.NumRows())
+	}
+	proj := even.Project("v")
+	if len(proj.Columns()) != 1 || proj.NumRows() != 5 {
+		t.Errorf("projection wrong: %v rows=%d", proj.Columns(), proj.NumRows())
+	}
+	ext := even.Extend("double", func(r Row) float64 { return 2 * r.MustFloat("v") })
+	if got := (Row{ext, 1}).MustFloat("double"); got != 4 {
+		t.Errorf("extend = %v, want 4", got)
+	}
+}
+
+func TestJoinAndGroupBy(t *testing.T) {
+	left := NewTable(IntCol("k"), FloatCol("x"))
+	left.AppendRow(int64(1), 10.0)
+	left.AppendRow(int64(2), 20.0)
+	right := NewTable(IntCol("k"), FloatCol("y"))
+	right.AppendRow(int64(1), 1.0)
+	right.AppendRow(int64(1), 2.0)
+	right.AppendRow(int64(3), 3.0)
+
+	joined := left.Join(right, "r.", func(l, r Row) bool {
+		lk, _ := l.Int("k")
+		rk, _ := r.Int("k") // condition sees original right-table names
+		return lk == rk
+	})
+	if joined.NumRows() != 2 {
+		t.Fatalf("join rows = %d, want 2", joined.NumRows())
+	}
+
+	sum := joined.GroupBy([]string{"k"}, []Agg{
+		{Fn: Sum, Col: "r.y", As: "sy"},
+		{Fn: CountAgg, As: "n"},
+		{Fn: MinAgg, Col: "r.y", As: "my"},
+	})
+	if sum.NumRows() != 1 {
+		t.Fatalf("groups = %d", sum.NumRows())
+	}
+	r := Row{sum, 0}
+	if r.MustFloat("sy") != 3 || r.MustFloat("n") != 2 || r.MustFloat("my") != 1 {
+		t.Errorf("aggregates wrong: sy=%v n=%v my=%v",
+			r.MustFloat("sy"), r.MustFloat("n"), r.MustFloat("my"))
+	}
+}
+
+func TestGroupByNullKeys(t *testing.T) {
+	tbl := NewTable(IntCol("k"), FloatCol("v"))
+	tbl.AppendRow(nil, 1.0)
+	tbl.AppendRow(nil, 2.0)
+	tbl.AppendRow(int64(5), 4.0)
+	groups := tbl.GroupBy([]string{"k"}, []Agg{{Fn: Sum, Col: "v", As: "s"}})
+	if groups.NumRows() != 2 {
+		t.Fatalf("groups = %d, want 2 (NULLs group together)", groups.NumRows())
+	}
+}
+
+func TestArgMaxFloat(t *testing.T) {
+	tbl := NewTable(FloatCol("v"))
+	if tbl.ArgMaxFloat("v") != -1 {
+		t.Error("empty table should return -1")
+	}
+	tbl.AppendRow(1.0)
+	tbl.AppendRow(5.0)
+	tbl.AppendRow(3.0)
+	if got := tbl.ArgMaxFloat("v"); got != 1 {
+		t.Errorf("argmax = %d", got)
+	}
+}
+
+// buildFlights reproduces the paper's running example.
+func buildFlights(t testing.TB) *relation.Relation {
+	t.Helper()
+	b := relation.NewBuilder("flights", relation.Schema{
+		Dimensions: []string{"region", "season"},
+		Targets:    []string{"delay"},
+	})
+	delay := map[[2]string]float64{
+		{"South", "Spring"}: 20, {"South", "Summer"}: 20,
+		{"West", "Spring"}: 20, {"West", "Summer"}: 20,
+		{"East", "Winter"}: 10, {"South", "Winter"}: 10,
+		{"West", "Winter"}: 10, {"North", "Winter"}: 10,
+	}
+	for _, r := range []string{"East", "South", "West", "North"} {
+		for _, s := range []string{"Spring", "Summer", "Fall", "Winter"} {
+			b.MustAddRow([]string{r, s}, []float64{delay[[2]string{r, s}]})
+		}
+	}
+	return b.Freeze()
+}
+
+func randomRelation(rng *rand.Rand, rows int) *relation.Relation {
+	b := relation.NewBuilder("rand", relation.Schema{
+		Dimensions: []string{"a", "b"},
+		Targets:    []string{"v"},
+	})
+	av := []string{"a0", "a1", "a2"}
+	bv := []string{"b0", "b1"}
+	for i := 0; i < rows; i++ {
+		b.MustAddRow(
+			[]string{av[rng.Intn(len(av))], bv[rng.Intn(len(bv))]},
+			[]float64{rng.NormFloat64()*10 + float64(rng.Intn(3))*15},
+		)
+	}
+	return b.Freeze()
+}
+
+// TestGreedyPlanMatchesDirect cross-validates the relational-plan
+// execution of Algorithm 2 against the direct implementation.
+func TestGreedyPlanMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		rel := randomRelation(rng, 20+rng.Intn(40))
+		view := rel.FullView()
+		facts := fact.Generate(view, 0, fact.GenerateOptions{MaxDims: 2})
+		prior := fact.MeanPrior(view, 0)
+		m := 1 + rng.Intn(3)
+
+		planFacts, planU := GreedyPlan(view, 0, facts, prior, m)
+		e := summarize.NewEvaluator(view, 0, facts, prior)
+		direct := summarize.Greedy(e, summarize.Options{MaxFacts: m})
+
+		if math.Abs(planU-direct.Utility) > 1e-9 {
+			t.Fatalf("trial %d: plan utility %v != direct %v", trial, planU, direct.Utility)
+		}
+		if len(planFacts) != len(direct.FactIdx) {
+			t.Fatalf("trial %d: plan selected %d facts, direct %d", trial, len(planFacts), len(direct.FactIdx))
+		}
+		for i := range planFacts {
+			if int32(planFacts[i]) != direct.FactIdx[i] {
+				t.Fatalf("trial %d: fact %d differs: %d vs %d",
+					trial, i, planFacts[i], direct.FactIdx[i])
+			}
+		}
+	}
+}
+
+// TestExactPlanMatchesDirect cross-validates the relational-plan
+// execution of Algorithm 1 against the direct implementation.
+func TestExactPlanMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 6; trial++ {
+		rel := randomRelation(rng, 15+rng.Intn(20))
+		view := rel.FullView()
+		facts := fact.Generate(view, 0, fact.GenerateOptions{MaxDims: 1})
+		prior := fact.MeanPrior(view, 0)
+		m := 1 + rng.Intn(2)
+
+		e := summarize.NewEvaluator(view, 0, facts, prior)
+		greedy := summarize.Greedy(e, summarize.Options{MaxFacts: m})
+		direct := summarize.Exact(e, summarize.Options{MaxFacts: m, LowerBound: greedy.Utility})
+
+		_, planU := ExactPlan(view, 0, facts, prior, m, greedy.Utility)
+		if math.Abs(planU-direct.Utility) > 1e-9 {
+			t.Fatalf("trial %d: plan optimum %v != direct %v (m=%d facts=%d)",
+				trial, planU, direct.Utility, m, len(facts))
+		}
+	}
+}
+
+// TestExactPlanRunningExample reproduces the Figure 1 optimum through
+// the relational plan path.
+func TestExactPlanRunningExample(t *testing.T) {
+	rel := buildFlights(t)
+	view := rel.FullView()
+	facts := fact.Generate(view, 0, fact.GenerateOptions{MaxDims: 2})
+	prior := fact.ConstantPrior(0)
+
+	planFacts, planU := GreedyPlan(view, 0, facts, prior, 2)
+	if len(planFacts) != 2 {
+		t.Fatalf("greedy plan selected %d facts", len(planFacts))
+	}
+	_, exactU := ExactPlan(view, 0, facts, prior, 2, planU)
+	if exactU < planU-1e-9 {
+		t.Fatalf("exact plan %v below greedy plan %v", exactU, planU)
+	}
+	// The direct exact result agrees.
+	e := summarize.NewEvaluator(view, 0, facts, prior)
+	direct := summarize.Exact(e, summarize.Options{MaxFacts: 2, LowerBound: planU})
+	if math.Abs(exactU-direct.Utility) > 1e-9 {
+		t.Fatalf("plan %v != direct %v", exactU, direct.Utility)
+	}
+}
+
+func TestFactsAndDataTables(t *testing.T) {
+	rel := buildFlights(t)
+	facts := fact.Generate(rel.FullView(), 0, fact.GenerateOptions{MaxDims: 2})
+	ft := FactsTable(rel, facts)
+	if ft.NumRows() != len(facts) {
+		t.Fatalf("facts table rows = %d, want %d", ft.NumRows(), len(facts))
+	}
+	// The overall fact has NULLs in every dimension column.
+	r := Row{ft, 0}
+	if _, ok := r.Int("d0"); ok {
+		t.Error("overall fact should have NULL d0")
+	}
+	dt := DataTable(rel.FullView(), 0, fact.ConstantPrior(0))
+	if dt.NumRows() != rel.NumRows() {
+		t.Fatalf("data table rows = %d", dt.NumRows())
+	}
+	if got := (Row{dt, 0}).MustFloat("E"); got != 0 {
+		t.Errorf("prior column = %v", got)
+	}
+}

@@ -1,0 +1,398 @@
+// Package relalg is a miniature relational-algebra executor. The paper
+// implements its algorithms "by issuing a series of SQL queries (thereby
+// removing the need for transferring data out of the database system)",
+// expressing them with grouping/aggregation (Γ), selection (σ),
+// projection (Π), joins (⋊⋉) and Cartesian products (×).
+//
+// This package provides those operators over in-memory tables and
+// expresses Algorithms 1 and 2 as operator plans (see plans.go),
+// cross-validated against the direct implementations in
+// internal/summarize. It is the faithful-to-the-paper execution path;
+// the summarize package is the optimized one.
+package relalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ColType is a column's value type.
+type ColType int
+
+const (
+	// Int columns hold int64 values (dimension codes, identifiers).
+	Int ColType = iota
+	// Float columns hold float64 values (targets, utilities).
+	Float
+)
+
+// Column is a named, typed, nullable column.
+type Column struct {
+	Name   string
+	Type   ColType
+	Ints   []int64
+	Floats []float64
+	Nulls  []bool
+}
+
+// Table is a bag of rows over named columns.
+type Table struct {
+	cols   []*Column
+	byName map[string]int
+	rows   int
+}
+
+// NewTable creates an empty table with the given column declarations.
+func NewTable(cols ...*Column) *Table {
+	t := &Table{byName: map[string]int{}}
+	for _, c := range cols {
+		t.addColumn(c)
+	}
+	return t
+}
+
+func (t *Table) addColumn(c *Column) {
+	if _, dup := t.byName[c.Name]; dup {
+		panic(fmt.Sprintf("relalg: duplicate column %q", c.Name))
+	}
+	t.byName[c.Name] = len(t.cols)
+	t.cols = append(t.cols, c)
+}
+
+// IntCol declares an int column.
+func IntCol(name string) *Column { return &Column{Name: name, Type: Int} }
+
+// FloatCol declares a float column.
+func FloatCol(name string) *Column { return &Column{Name: name, Type: Float} }
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return t.rows }
+
+// Columns returns the column names in declaration order.
+func (t *Table) Columns() []string {
+	out := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// col returns the named column or panics — plans reference columns
+// statically, so a miss is a programming error.
+func (t *Table) col(name string) *Column {
+	i, ok := t.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("relalg: no column %q", name))
+	}
+	return t.cols[i]
+}
+
+// AppendRow appends one row given per-column values. Use NullInt64 for
+// NULL in int columns.
+func (t *Table) AppendRow(values ...any) {
+	if len(values) != len(t.cols) {
+		panic(fmt.Sprintf("relalg: row has %d values, table has %d columns", len(values), len(t.cols)))
+	}
+	for i, v := range values {
+		c := t.cols[i]
+		switch c.Type {
+		case Int:
+			switch x := v.(type) {
+			case int64:
+				c.Ints = append(c.Ints, x)
+				c.Nulls = append(c.Nulls, false)
+			case int:
+				c.Ints = append(c.Ints, int64(x))
+				c.Nulls = append(c.Nulls, false)
+			case int32:
+				c.Ints = append(c.Ints, int64(x))
+				c.Nulls = append(c.Nulls, false)
+			case nil:
+				c.Ints = append(c.Ints, 0)
+				c.Nulls = append(c.Nulls, true)
+			default:
+				panic(fmt.Sprintf("relalg: column %q: bad int value %T", c.Name, v))
+			}
+		case Float:
+			switch x := v.(type) {
+			case float64:
+				c.Floats = append(c.Floats, x)
+				c.Nulls = append(c.Nulls, false)
+			case nil:
+				c.Floats = append(c.Floats, 0)
+				c.Nulls = append(c.Nulls, true)
+			default:
+				panic(fmt.Sprintf("relalg: column %q: bad float value %T", c.Name, v))
+			}
+		}
+	}
+	t.rows++
+}
+
+// Row is a cursor over one table row.
+type Row struct {
+	t *Table
+	i int
+}
+
+// Int returns the named int column value; ok is false for NULL.
+func (r Row) Int(name string) (int64, bool) {
+	c := r.t.col(name)
+	if c.Nulls[r.i] {
+		return 0, false
+	}
+	return c.Ints[r.i], true
+}
+
+// Float returns the named float column value (NULL reads as 0, false).
+func (r Row) Float(name string) (float64, bool) {
+	c := r.t.col(name)
+	if c.Nulls[r.i] {
+		return 0, false
+	}
+	return c.Floats[r.i], true
+}
+
+// MustFloat returns a non-null float value or panics.
+func (r Row) MustFloat(name string) float64 {
+	v, ok := r.Float(name)
+	if !ok {
+		panic(fmt.Sprintf("relalg: NULL in %q", name))
+	}
+	return v
+}
+
+// MustInt returns a non-null int value or panics.
+func (r Row) MustInt(name string) int64 {
+	v, ok := r.Int(name)
+	if !ok {
+		panic(fmt.Sprintf("relalg: NULL in %q", name))
+	}
+	return v
+}
+
+// cloneSchema builds an empty table with the same columns.
+func (t *Table) cloneSchema() *Table {
+	out := &Table{byName: map[string]int{}}
+	for _, c := range t.cols {
+		out.addColumn(&Column{Name: c.Name, Type: c.Type})
+	}
+	return out
+}
+
+// copyRow appends row i of src to dst (same schema).
+func copyRow(dst, src *Table, i int) {
+	for ci, c := range src.cols {
+		d := dst.cols[ci]
+		switch c.Type {
+		case Int:
+			d.Ints = append(d.Ints, c.Ints[i])
+		case Float:
+			d.Floats = append(d.Floats, c.Floats[i])
+		}
+		d.Nulls = append(d.Nulls, c.Nulls[i])
+	}
+	dst.rows++
+}
+
+// Select is the σ operator: rows satisfying pred.
+func (t *Table) Select(pred func(Row) bool) *Table {
+	out := t.cloneSchema()
+	for i := 0; i < t.rows; i++ {
+		if pred(Row{t, i}) {
+			copyRow(out, t, i)
+		}
+	}
+	return out
+}
+
+// Project is the Π operator restricted to column selection.
+func (t *Table) Project(names ...string) *Table {
+	out := &Table{byName: map[string]int{}}
+	for _, n := range names {
+		src := t.col(n)
+		c := &Column{Name: n, Type: src.Type}
+		c.Ints = append(c.Ints, src.Ints...)
+		c.Floats = append(c.Floats, src.Floats...)
+		c.Nulls = append(c.Nulls, src.Nulls...)
+		out.addColumn(c)
+	}
+	out.rows = t.rows
+	return out
+}
+
+// Extend is the generalized projection: adds a computed float column.
+func (t *Table) Extend(name string, f func(Row) float64) *Table {
+	out := t.Project(t.Columns()...)
+	c := &Column{Name: name, Type: Float}
+	for i := 0; i < t.rows; i++ {
+		c.Floats = append(c.Floats, f(Row{t, i}))
+		c.Nulls = append(c.Nulls, false)
+	}
+	out.addColumn(c)
+	return out
+}
+
+// Join is the ⋊⋉ operator with an arbitrary condition (nested loops, as
+// the paper's complexity analysis assumes). The condition sees rows of
+// the original input tables (right columns under their original names);
+// in the output, columns of other are renamed with the given prefix to
+// avoid collisions.
+func (t *Table) Join(other *Table, prefix string, on func(left, right Row) bool) *Table {
+	out := &Table{byName: map[string]int{}}
+	for _, c := range t.cols {
+		out.addColumn(&Column{Name: c.Name, Type: c.Type})
+	}
+	for _, c := range other.cols {
+		out.addColumn(&Column{Name: prefix + c.Name, Type: c.Type})
+	}
+	for i := 0; i < t.rows; i++ {
+		for j := 0; j < other.rows; j++ {
+			if !on(Row{t, i}, Row{other, j}) {
+				continue
+			}
+			appendJoined(out, t, i, other, j)
+			out.rows++
+		}
+	}
+	return out
+}
+
+// appendJoined appends the concatenation of t[i] and other[j] to out.
+func appendJoined(out, t *Table, i int, other *Table, j int) {
+	for ci, c := range t.cols {
+		d := out.cols[ci]
+		switch c.Type {
+		case Int:
+			d.Ints = append(d.Ints, c.Ints[i])
+		case Float:
+			d.Floats = append(d.Floats, c.Floats[i])
+		}
+		d.Nulls = append(d.Nulls, c.Nulls[i])
+	}
+	off := len(t.cols)
+	for ci, c := range other.cols {
+		d := out.cols[off+ci]
+		switch c.Type {
+		case Int:
+			d.Ints = append(d.Ints, c.Ints[j])
+		case Float:
+			d.Floats = append(d.Floats, c.Floats[j])
+		}
+		d.Nulls = append(d.Nulls, c.Nulls[j])
+	}
+}
+
+// AggFn is an aggregation function.
+type AggFn int
+
+const (
+	// Sum aggregates float sums.
+	Sum AggFn = iota
+	// MinAgg aggregates float minima.
+	MinAgg
+	// CountAgg counts rows.
+	CountAgg
+)
+
+// Agg declares one aggregation of a group-by.
+type Agg struct {
+	Fn  AggFn
+	Col string // input column (ignored for CountAgg)
+	As  string // output column name
+}
+
+// GroupBy is the Γ operator: grouping on the given int key columns
+// (NULLs group together) with float aggregations. Output has the key
+// columns plus one float column per aggregate, in deterministic order.
+func (t *Table) GroupBy(keys []string, aggs []Agg) *Table {
+	type groupState struct {
+		keyVals  []int64
+		keyNulls []bool
+		sums     []float64
+		inited   []bool
+	}
+	m := map[string]*groupState{}
+	var order []string
+	for i := 0; i < t.rows; i++ {
+		key := ""
+		kv := make([]int64, len(keys))
+		kn := make([]bool, len(keys))
+		for ki, k := range keys {
+			v, ok := Row{t, i}.Int(k)
+			kv[ki] = v
+			kn[ki] = !ok
+			if ok {
+				key += fmt.Sprintf("%d|", v)
+			} else {
+				key += "N|"
+			}
+		}
+		g := m[key]
+		if g == nil {
+			g = &groupState{
+				keyVals: kv, keyNulls: kn,
+				sums:   make([]float64, len(aggs)),
+				inited: make([]bool, len(aggs)),
+			}
+			m[key] = g
+			order = append(order, key)
+		}
+		for ai, a := range aggs {
+			switch a.Fn {
+			case Sum:
+				if v, ok := (Row{t, i}).Float(a.Col); ok {
+					g.sums[ai] += v
+				}
+			case MinAgg:
+				if v, ok := (Row{t, i}).Float(a.Col); ok {
+					if !g.inited[ai] || v < g.sums[ai] {
+						g.sums[ai] = v
+						g.inited[ai] = true
+					}
+				}
+			case CountAgg:
+				g.sums[ai]++
+			}
+		}
+	}
+	sort.Strings(order)
+	var cols []*Column
+	for _, k := range keys {
+		cols = append(cols, IntCol(k))
+	}
+	for _, a := range aggs {
+		cols = append(cols, FloatCol(a.As))
+	}
+	out := NewTable(cols...)
+	for _, key := range order {
+		g := m[key]
+		vals := make([]any, 0, len(keys)+len(aggs))
+		for ki := range keys {
+			if g.keyNulls[ki] {
+				vals = append(vals, nil)
+			} else {
+				vals = append(vals, g.keyVals[ki])
+			}
+		}
+		for ai := range aggs {
+			vals = append(vals, g.sums[ai])
+		}
+		out.AppendRow(vals...)
+	}
+	return out
+}
+
+// ArgMaxFloat returns the row index with the maximal value in the named
+// float column (-1 for an empty table). Ties resolve to the first row.
+func (t *Table) ArgMaxFloat(name string) int {
+	best, bestV := -1, math.Inf(-1)
+	c := t.col(name)
+	for i := 0; i < t.rows; i++ {
+		if !c.Nulls[i] && c.Floats[i] > bestV {
+			best, bestV = i, c.Floats[i]
+		}
+	}
+	return best
+}

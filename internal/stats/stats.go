@@ -1,0 +1,91 @@
+// Package stats provides the small statistical toolbox used by the
+// cost-based pruning optimizer (Section VI-C of the paper): the normal
+// distribution CDF for pruning-probability estimation and summary
+// helpers shared by the experiment harness.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// NormalCDF returns P(X <= x) for X ~ N(mu, sigma^2).
+func NormalCDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		// Degenerate distribution: a point mass at mu.
+		if x < mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * math.Erfc(-(x-mu)/(sigma*math.Sqrt2))
+}
+
+// ProbGreater returns P(A > B) for independent A ~ N(muA, sigma^2) and
+// B ~ N(muB, sigma^2). The difference A−B is N(muA−muB, 2 sigma^2), so
+// P(A > B) = Φ((muA−muB)/(sigma·√2)). This is exactly the Pr(P_{s→t})
+// estimate of the paper's cost model.
+func ProbGreater(muA, muB, sigma float64) float64 {
+	return NormalCDF(muA-muB, 0, sigma*math.Sqrt2)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the median of xs (average of the two middle values for
+// even length), or 0 for empty input. The input is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Pearson returns the Pearson correlation coefficient of paired samples,
+// or 0 when either side has zero variance or lengths mismatch.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,341 @@
+// Package summarize implements the speech summarization algorithms of the
+// paper: the exact algorithm with permutation and bound pruning
+// (Algorithm 1, Section IV), the greedy algorithm with (1−1/e) guarantee
+// (Algorithm 2, Section V), fact-group pruning (Algorithm 3, Section VI-B)
+// and the cost-based pruning optimizer (Algorithm 4, Sections VI-C/D).
+package summarize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cicero/internal/fact"
+	"cicero/internal/relation"
+)
+
+// Evaluator pre-computes the data structures shared by all summarization
+// algorithms for one problem instance ⟨R, F, m⟩: per-row truth values and
+// prior deviations, per-fact posting lists (the materialized fact-scope
+// join R ⋊⋉M F), and the fact-group lattice.
+//
+// The paper executes these steps as SQL joins and aggregations inside the
+// DBMS; the Evaluator is the in-memory equivalent with identical
+// semantics.
+type Evaluator struct {
+	view   *relation.View
+	target int
+	facts  []fact.Fact
+	prior  fact.Prior
+
+	truth    []float64 // target value per view row
+	priorDev []float64 // |prior − truth| per view row
+	priorSum float64   // D(∅), the error of the empty speech
+	postings [][]int32 // per fact: view-row positions within scope
+	groups   []FactGroup
+
+	// curDev is the greedy algorithm's per-row expectation state: the
+	// deviation |E(F,r) − vr| under the facts selected so far. It doubles
+	// as scratch space for exact speech evaluation.
+	curDev []float64
+
+	// JoinedRows counts row-fact pairs processed, mirroring the paper's
+	// processing-cost metric (number of rows processed by joins).
+	JoinedRows int64
+}
+
+// FactGroup is a set of facts restricting the same dimension columns
+// (Section VI-B). Facts in one group partition the rows of the view.
+type FactGroup struct {
+	Dims  []int   // restricted dimension columns, ascending
+	Facts []int32 // indices into the evaluator's fact slice
+}
+
+// key returns a canonical identity for the group's dimension set.
+func groupKey(dims []int) string {
+	return fmt.Sprint(dims)
+}
+
+// dimsSubset reports whether a ⊆ b for ascending dim slices.
+func dimsSubset(a, b []int) bool {
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j >= len(b) || b[j] != x {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// NewEvaluator builds the evaluator for a problem instance. The posting
+// lists are built with one pass over the view per fact group, exploiting
+// the fact that facts in a group partition rows.
+func NewEvaluator(view *relation.View, target int, facts []fact.Fact, prior fact.Prior) *Evaluator {
+	n := view.NumRows()
+	e := &Evaluator{
+		view:     view,
+		target:   target,
+		facts:    facts,
+		prior:    prior,
+		truth:    make([]float64, n),
+		priorDev: make([]float64, n),
+		postings: make([][]int32, len(facts)),
+		curDev:   make([]float64, n),
+	}
+	col := view.Rel.Target(target)
+	for i := 0; i < n; i++ {
+		row := view.Row(i)
+		e.truth[i] = col.At(int(row))
+		e.priorDev[i] = math.Abs(prior.At(row) - e.truth[i])
+		e.priorSum += e.priorDev[i]
+		e.curDev[i] = e.priorDev[i]
+	}
+	e.buildGroupsAndPostings()
+	return e
+}
+
+// comboRadix returns mixed-radix multipliers that map a value-code
+// combination over the given dimensions to a unique int64 key, avoiding
+// per-row string allocation in the hot join and bound loops.
+func (e *Evaluator) comboRadix(dims []int) []int64 {
+	radix := make([]int64, len(dims))
+	stride := int64(1)
+	for i, d := range dims {
+		radix[i] = stride
+		stride *= int64(e.view.Rel.Dim(d).Cardinality()) + 1
+	}
+	return radix
+}
+
+// comboKey maps a code combination to its int64 key under radix.
+func comboKey(codes []int32, radix []int64) int64 {
+	key := int64(0)
+	for i, c := range codes {
+		key += int64(c) * radix[i]
+	}
+	return key
+}
+
+// rowComboKey computes the combo key of a relation row for dims.
+func (e *Evaluator) rowComboKey(row int32, dims []int, radix []int64) int64 {
+	key := int64(0)
+	for j, d := range dims {
+		key += int64(e.view.Rel.Dim(d).CodeAt(int(row))) * radix[j]
+	}
+	return key
+}
+
+// buildGroupsAndPostings groups facts by restricted dimension set and
+// assigns each view row to the matching fact of every group in a single
+// pass per group. Facts in one group partition the rows, so the join
+// R ⋊⋉M F costs one relation pass per fact group instead of one per fact.
+func (e *Evaluator) buildGroupsAndPostings() {
+	byKey := map[string]int{}
+	for fi, f := range e.facts {
+		k := groupKey(f.Scope.Dims)
+		gi, ok := byKey[k]
+		if !ok {
+			gi = len(e.groups)
+			byKey[k] = gi
+			e.groups = append(e.groups, FactGroup{Dims: append([]int(nil), f.Scope.Dims...)})
+		}
+		e.groups[gi].Facts = append(e.groups[gi].Facts, int32(fi))
+	}
+	n := e.view.NumRows()
+	for gi := range e.groups {
+		g := &e.groups[gi]
+		if len(g.Dims) == 0 {
+			// Every row is within scope of the single scope-free fact.
+			for _, fi := range g.Facts {
+				post := make([]int32, n)
+				for i := range post {
+					post[i] = int32(i)
+				}
+				e.postings[fi] = post
+			}
+			continue
+		}
+		// Map value-code combination → fact index for this group.
+		radix := e.comboRadix(g.Dims)
+		byCombo := make(map[int64]int32, len(g.Facts))
+		for _, fi := range g.Facts {
+			byCombo[comboKey(e.facts[fi].Scope.Codes, radix)] = fi
+		}
+		for i := 0; i < n; i++ {
+			key := e.rowComboKey(e.view.Row(i), g.Dims, radix)
+			if fi, ok := byCombo[key]; ok {
+				e.postings[fi] = append(e.postings[fi], int32(i))
+			}
+		}
+	}
+	for i := range e.postings {
+		e.JoinedRows += int64(len(e.postings[i]))
+	}
+}
+
+// NumRows returns the number of rows in the problem's view.
+func (e *Evaluator) NumRows() int { return e.view.NumRows() }
+
+// NumFacts returns the number of candidate facts.
+func (e *Evaluator) NumFacts() int { return len(e.facts) }
+
+// Facts returns the candidate facts (not a copy; callers must not modify).
+func (e *Evaluator) Facts() []fact.Fact { return e.facts }
+
+// Groups returns the fact groups (not a copy; callers must not modify).
+func (e *Evaluator) Groups() []FactGroup { return e.groups }
+
+// PriorError returns D(∅), the accumulated deviation of the empty speech.
+func (e *Evaluator) PriorError() float64 { return e.priorSum }
+
+// SingleFactUtility computes the utility of a singleton speech {f}:
+// Σ_rows max(0, priorDev − |v_f − truth|) over rows in scope. This is the
+// Γ_{ΣU,F}(R ⋊⋉M F) step of both Algorithm 1 and 2.
+func (e *Evaluator) SingleFactUtility(fi int) float64 {
+	v := e.facts[fi].Value
+	u := 0.0
+	for _, i := range e.postings[fi] {
+		if gain := e.priorDev[i] - math.Abs(v-e.truth[i]); gain > 0 {
+			u += gain
+		}
+	}
+	e.JoinedRows += int64(len(e.postings[fi]))
+	return u
+}
+
+// SingleFactUtilities computes single-fact utilities for all facts.
+func (e *Evaluator) SingleFactUtilities() []float64 {
+	out := make([]float64, len(e.facts))
+	for i := range e.facts {
+		out[i] = e.SingleFactUtility(i)
+	}
+	return out
+}
+
+// SpeechUtility computes the exact utility U(F*) of a fact-index set under
+// the Closest expectation model, touching only rows within scope of at
+// least one chosen fact (the final join of Algorithm 1).
+func (e *Evaluator) SpeechUtility(factIdx []int32) float64 {
+	seen := map[int32]float64{}
+	for _, fi := range factIdx {
+		v := e.facts[fi].Value
+		for _, i := range e.postings[fi] {
+			d := math.Abs(v - e.truth[i])
+			if cur, ok := seen[i]; !ok {
+				seen[i] = math.Min(d, e.priorDev[i])
+			} else if d < cur {
+				seen[i] = d
+			}
+		}
+		e.JoinedRows += int64(len(e.postings[fi]))
+	}
+	u := 0.0
+	for i, dev := range seen {
+		u += e.priorDev[i] - dev
+	}
+	return u
+}
+
+// GreedyGain computes the marginal utility of adding fact fi to the
+// current greedy speech (whose per-row deviations are tracked in curDev).
+func (e *Evaluator) GreedyGain(fi int) float64 {
+	v := e.facts[fi].Value
+	gain := 0.0
+	for _, i := range e.postings[fi] {
+		if g := e.curDev[i] - math.Abs(v-e.truth[i]); g > 0 {
+			gain += g
+		}
+	}
+	e.JoinedRows += int64(len(e.postings[fi]))
+	return gain
+}
+
+// CommitFact folds fact fi into the greedy expectation state, the
+// Π_{E,R}(R ⋊⋉M f*) recomputation of Algorithm 2 Line 11.
+func (e *Evaluator) CommitFact(fi int) {
+	v := e.facts[fi].Value
+	for _, i := range e.postings[fi] {
+		if d := math.Abs(v - e.truth[i]); d < e.curDev[i] {
+			e.curDev[i] = d
+		}
+	}
+	e.JoinedRows += int64(len(e.postings[fi]))
+}
+
+// ResetGreedy restores the expectation state to the prior, so the same
+// evaluator can run multiple algorithms.
+func (e *Evaluator) ResetGreedy() {
+	copy(e.curDev, e.priorDev)
+}
+
+// CurrentError returns the accumulated deviation of the current greedy
+// state.
+func (e *Evaluator) CurrentError() float64 {
+	sum := 0.0
+	for _, d := range e.curDev {
+		sum += d
+	}
+	return sum
+}
+
+// GroupBound computes the upper utility-gain bound for every fact of a
+// group: Σ curDev grouped by the group's dimensions, maximized over value
+// combinations (Algorithm 3 Line 15). Adding a fact can at most reduce
+// the error within its scope to zero, so the summed current deviation
+// bounds the gain of any fact in the group and of all specializations.
+func (e *Evaluator) GroupBound(g *FactGroup) float64 {
+	if len(g.Dims) == 0 {
+		return e.CurrentError()
+	}
+	radix := e.comboRadix(g.Dims)
+	n := e.view.NumRows()
+	stride := radix[len(radix)-1] * (int64(e.view.Rel.Dim(g.Dims[len(g.Dims)-1]).Cardinality()) + 1)
+	best := 0.0
+	if stride <= 1<<16 {
+		// Dense accumulation: a flat array is much cheaper than a map
+		// and keeps bound computation well below a utility scan's cost.
+		sums := make([]float64, stride)
+		for i := 0; i < n; i++ {
+			sums[e.rowComboKey(e.view.Row(i), g.Dims, radix)] += e.curDev[i]
+		}
+		for _, s := range sums {
+			if s > best {
+				best = s
+			}
+		}
+	} else {
+		sums := map[int64]float64{}
+		for i := 0; i < n; i++ {
+			sums[e.rowComboKey(e.view.Row(i), g.Dims, radix)] += e.curDev[i]
+		}
+		for _, s := range sums {
+			if s > best {
+				best = s
+			}
+		}
+	}
+	e.JoinedRows += int64(n)
+	return best
+}
+
+// sortFactsByUtility returns fact indices ordered by decreasing
+// single-fact utility with index tiebreak, the canonical order used by
+// the exact algorithm's permutation pruning.
+func sortFactsByUtility(utils []float64) []int32 {
+	idx := make([]int32, len(utils))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ua, ub := utils[idx[a]], utils[idx[b]]
+		if ua != ub {
+			return ua > ub
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}

@@ -1,0 +1,135 @@
+package summarize
+
+import (
+	"time"
+)
+
+// pruneEps is the slack applied to utility-bound comparisons so that
+// floating-point rounding between differently-ordered summations can
+// never prune a true optimum.
+const pruneEps = 1e-9
+
+// Exact runs Algorithm 1: exhaustive speech enumeration with two pruning
+// rules, returning a guaranteed optimal speech of up to opts.MaxFacts
+// facts (Corollary 1).
+//
+// Pruning rule 1 eliminates redundant fact permutations by only expanding
+// speeches with facts in decreasing single-fact-utility order. Pruning
+// rule 2 discards a partial speech when even the optimistic bound
+// S.U + r·F.U (Lemma 1: the sum of already-selected single-fact utilities
+// plus the new fact's utility paid for every remaining slot) cannot reach
+// the lower bound b on optimal utility.
+//
+// The lower bound is seeded from opts.LowerBound (callers pass the greedy
+// utility, as the paper does) and tightened with every exact utility
+// computed, which only strengthens pruning and never sacrifices
+// optimality. If opts.Timeout is positive and expires, the best speech
+// found so far is returned with Stats.TimedOut set.
+func Exact(e *Evaluator, opts Options) Summary {
+	opts = opts.withDefaults()
+	start := time.Now()
+	joined0 := e.JoinedRows
+	var stats RunStats
+
+	utils := e.SingleFactUtilities()
+	stats.FactsEvaluated = len(utils)
+	order := sortFactsByUtility(utils)
+
+	m := opts.MaxFacts
+	if m > len(order) {
+		m = len(order)
+	}
+
+	b := opts.LowerBound
+	var best []int32
+	bestU := -1.0
+	deadline := time.Time{}
+	if opts.Timeout > 0 {
+		deadline = start.Add(opts.Timeout)
+	}
+	checkEvery := int64(1024)
+
+	evaluate := func(chosen []int32) {
+		u := e.SpeechUtility(chosen)
+		stats.SpeechesEvaluated++
+		if u > bestU {
+			bestU = u
+			best = append(best[:0], chosen...)
+		}
+		if u > b {
+			b = u
+		}
+	}
+
+	// Depth-first enumeration over combinations in the canonical
+	// decreasing-utility order. pos indexes into order; sumU carries the
+	// upper bound S.U (sum of single-fact utilities of selected facts,
+	// Lemma 2).
+	var chosen []int32
+	var dfs func(pos int, sumU float64)
+	timedOut := false
+	dfs = func(pos int, sumU float64) {
+		if timedOut {
+			return
+		}
+		if !deadline.IsZero() && stats.NodesExpanded%checkEvery == 0 && time.Now().After(deadline) {
+			timedOut = true
+			return
+		}
+		if len(chosen) == m {
+			evaluate(chosen)
+			return
+		}
+		extended := false
+		remaining := m - len(chosen) // slots left including the next fact
+		for i := pos; i < len(order); i++ {
+			fi := order[i]
+			u := utils[fi]
+			// Pruning rule 2: facts are in decreasing utility order, so
+			// if even this fact cannot lift the bound to b, no later fact
+			// can either — cut the whole subtree. The epsilon absorbs
+			// floating-point drift between the bound (computed as a sum
+			// of per-row gains) and b (computed as an error difference),
+			// which could otherwise prune the optimum itself.
+			if sumU+float64(remaining)*u < b-pruneEps {
+				break
+			}
+			stats.NodesExpanded++
+			extended = true
+			chosen = append(chosen, fi)
+			dfs(i+1, sumU+u)
+			chosen = chosen[:len(chosen)-1]
+			if timedOut {
+				return
+			}
+		}
+		if !extended && len(chosen) > 0 {
+			// No admissible extension: the partial speech is itself a
+			// candidate ("up to m facts").
+			evaluate(chosen)
+		}
+	}
+	dfs(0, 0)
+
+	// The empty speech is valid (utility 0) when nothing helps.
+	if bestU < 0 {
+		bestU = 0
+		best = nil
+	}
+
+	residual := e.PriorError() - bestU
+	out := Summary{
+		FactIdx:       append([]int32(nil), best...),
+		Utility:       bestU,
+		PriorError:    e.PriorError(),
+		ResidualError: residual,
+	}
+	for _, fi := range best {
+		out.Facts = append(out.Facts, e.Facts()[fi])
+	}
+	stats.TimedOut = timedOut
+	stats.Elapsed = time.Since(start)
+	stats.JoinedRows = e.JoinedRows - joined0
+	out.Stats = stats
+	return out
+}

@@ -1,0 +1,173 @@
+package summarize
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cicero/internal/fact"
+	"cicero/internal/relation"
+)
+
+// This file turns the paper's NP-hardness reduction (Theorem 4) into an
+// executable test: a set cover instance maps to a speech summarization
+// problem such that U can be covered with m sets iff the optimal
+// m-fact speech has deviation zero. Running the exact algorithm on the
+// reduction must therefore decide set cover.
+
+// setCoverInstance is a universe {0..n-1} and subsets of it.
+type setCoverInstance struct {
+	n       int
+	subsets [][]int
+}
+
+// reduce builds the relation and candidate facts of the reduction: one
+// row per universe element with target value 1 and prior 0; one column
+// Cs per subset s marking membership with a unique value; one fact per
+// subset with value 1 scoped to its membership marker.
+func (sc setCoverInstance) reduce(t *testing.T) (*relation.Relation, []fact.Fact) {
+	t.Helper()
+	dims := make([]string, len(sc.subsets))
+	for i := range sc.subsets {
+		dims[i] = fmt.Sprintf("C%d", i)
+	}
+	b := relation.NewBuilder("setcover", relation.Schema{
+		Dimensions: dims, Targets: []string{"v"},
+	})
+	member := make([]map[int]bool, len(sc.subsets))
+	for si, s := range sc.subsets {
+		member[si] = map[int]bool{}
+		for _, e := range s {
+			member[si][e] = true
+		}
+	}
+	rowVals := make([]string, len(sc.subsets))
+	for e := 0; e < sc.n; e++ {
+		for si := range sc.subsets {
+			if member[si][e] {
+				rowVals[si] = "in"
+			} else {
+				rowVals[si] = "out"
+			}
+		}
+		b.MustAddRow(rowVals, []float64{1})
+	}
+	rel := b.Freeze()
+
+	var facts []fact.Fact
+	for si := range sc.subsets {
+		code, ok := rel.Dim(si).Code("in")
+		if !ok {
+			// Subset is empty in this instance; no fact.
+			continue
+		}
+		facts = append(facts, fact.Fact{
+			Scope: fact.NewScope([]int{si}, []int32{code}),
+			Value: 1,
+		})
+	}
+	return rel, facts
+}
+
+// coverableBruteForce decides set cover exactly by enumeration.
+func (sc setCoverInstance) coverableBruteForce(m int) bool {
+	var rec func(start int, covered map[int]bool, left int) bool
+	rec = func(start int, covered map[int]bool, left int) bool {
+		if len(covered) == sc.n {
+			return true
+		}
+		if left == 0 || start >= len(sc.subsets) {
+			return false
+		}
+		for i := start; i < len(sc.subsets); i++ {
+			added := []int{}
+			for _, e := range sc.subsets[i] {
+				if !covered[e] {
+					covered[e] = true
+					added = append(added, e)
+				}
+			}
+			if rec(i+1, covered, left-1) {
+				return true
+			}
+			for _, e := range added {
+				delete(covered, e)
+			}
+		}
+		return false
+	}
+	return rec(0, map[int]bool{}, m)
+}
+
+// solveByReduction decides set cover by running the exact summarizer on
+// the reduced instance: coverable iff optimal utility equals n (zero
+// residual deviation against the zero prior).
+func solveByReduction(t *testing.T, sc setCoverInstance, m int) bool {
+	rel, facts := sc.reduce(t)
+	e := NewEvaluator(rel.FullView(), 0, facts, fact.ConstantPrior(0))
+	greedy := Greedy(e, Options{MaxFacts: m})
+	exact := Exact(e, Options{MaxFacts: m, LowerBound: greedy.Utility})
+	return exact.Utility >= float64(sc.n)-1e-9
+}
+
+func TestTheorem4ReductionPositive(t *testing.T) {
+	// {0,1,2} ∪ {3,4} covers the universe with 2 sets.
+	sc := setCoverInstance{
+		n: 5,
+		subsets: [][]int{
+			{0, 1, 2}, {2, 3}, {3, 4}, {0, 4},
+		},
+	}
+	if !sc.coverableBruteForce(2) {
+		t.Fatal("instance should be 2-coverable")
+	}
+	if !solveByReduction(t, sc, 2) {
+		t.Error("reduction: exact summarizer failed to find the cover")
+	}
+}
+
+func TestTheorem4ReductionNegative(t *testing.T) {
+	// Three disjoint pairs cannot be covered by two sets.
+	sc := setCoverInstance{
+		n: 6,
+		subsets: [][]int{
+			{0, 1}, {2, 3}, {4, 5},
+		},
+	}
+	if sc.coverableBruteForce(2) {
+		t.Fatal("instance should not be 2-coverable")
+	}
+	if solveByReduction(t, sc, 2) {
+		t.Error("reduction: summarizer claims a nonexistent cover")
+	}
+}
+
+// TestTheorem4ReductionRandom cross-checks the reduction against brute
+// force on random instances — the executable form of Theorem 4.
+func TestTheorem4ReductionRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(4)
+		k := 3 + rng.Intn(4)
+		sc := setCoverInstance{n: n}
+		for i := 0; i < k; i++ {
+			var s []int
+			for e := 0; e < n; e++ {
+				if rng.Intn(3) == 0 {
+					s = append(s, e)
+				}
+			}
+			if len(s) == 0 {
+				s = []int{rng.Intn(n)}
+			}
+			sc.subsets = append(sc.subsets, s)
+		}
+		m := 1 + rng.Intn(3)
+		want := sc.coverableBruteForce(m)
+		got := solveByReduction(t, sc, m)
+		if want != got {
+			t.Fatalf("trial %d (n=%d k=%d m=%d): brute=%v reduction=%v",
+				trial, n, k, m, want, got)
+		}
+	}
+}

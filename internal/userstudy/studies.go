@@ -1,0 +1,256 @@
+package userstudy
+
+import (
+	"math"
+	"sort"
+
+	"cicero/internal/fact"
+	"cicero/internal/relation"
+	"cicero/internal/stats"
+)
+
+// Adjectives4 are the rating criteria of Figure 5.
+var Adjectives4 = []string{"Precise", "Good", "Complete", "Informative"}
+
+// Adjectives6 are the extended criteria of Figure 11.
+var Adjectives6 = []string{"Precise", "Good", "Complete", "Informative", "Diverse", "Concise"}
+
+// SpeechProfile describes one speech variant entering a rating study.
+type SpeechProfile struct {
+	// Name labels the variant ("Worst", "Best", "Baseline", "This", ...).
+	Name string
+	// Accuracy in [0,1]: how well listeners can reproduce the data with
+	// the speech (scaled utility for point-fact speeches; midpoint
+	// utility for range speeches).
+	Accuracy float64
+	// Precision in [0,1]: 1 for exact values, lower for ranges.
+	Precision float64
+	// Diversity in [0,1]: fraction of facts covering distinct dimensions.
+	Diversity float64
+	// Brevity in [0,1]: 1 for short speeches, lower for verbose output.
+	Brevity float64
+}
+
+// adjectiveQuality mixes profile features into the perceived quality for
+// one adjective. All adjectives load primarily on accuracy (a useless
+// speech rates poorly on everything); Precise and Informative add a
+// precision component, Diverse loads on diversity, Concise on brevity.
+func adjectiveQuality(p SpeechProfile, adjective string) float64 {
+	switch adjective {
+	case "Precise":
+		return 0.5*p.Accuracy + 0.5*p.Precision
+	case "Informative":
+		return 0.65*p.Accuracy + 0.35*p.Precision
+	case "Complete":
+		return 0.8*p.Accuracy + 0.2*p.Diversity
+	case "Diverse":
+		return 0.4*p.Accuracy + 0.6*p.Diversity
+	case "Concise":
+		return 0.4*p.Accuracy + 0.6*p.Brevity
+	default: // "Good"
+		return p.Accuracy
+	}
+}
+
+// RatingResult holds the outcome of a rating study for one speech.
+type RatingResult struct {
+	Name string
+	// AvgRating maps adjective → mean 1-10 rating.
+	AvgRating map[string]float64
+	// Wins maps adjective → number of pairwise comparisons won.
+	Wins map[string]int
+}
+
+// PreferenceStudy simulates the AMT comparison studies (Figures 5 and
+// 11): each worker rates every speech on every adjective and, for each
+// unordered speech pair, votes for the speech they perceive as better.
+func PreferenceStudy(profiles []SpeechProfile, adjectives []string, workers []Worker) []RatingResult {
+	results := make([]RatingResult, len(profiles))
+	for i, p := range profiles {
+		results[i] = RatingResult{
+			Name:      p.Name,
+			AvgRating: map[string]float64{},
+			Wins:      map[string]int{},
+		}
+		_ = p
+	}
+	for _, adj := range adjectives {
+		sums := make([]float64, len(profiles))
+		for wi := range workers {
+			w := &workers[wi]
+			for pi, p := range profiles {
+				sums[pi] += w.Rate(adjectiveQuality(p, adj))
+			}
+			for a := 0; a < len(profiles); a++ {
+				for b := a + 1; b < len(profiles); b++ {
+					qa := adjectiveQuality(profiles[a], adj)
+					qb := adjectiveQuality(profiles[b], adj)
+					if w.Prefer(qa, qb) {
+						results[a].Wins[adj]++
+					} else {
+						results[b].Wins[adj]++
+					}
+				}
+			}
+		}
+		for pi := range profiles {
+			results[pi].AvgRating[adj] = sums[pi] / float64(len(workers))
+		}
+	}
+	return results
+}
+
+// EstimatePoint is one data point of the Figure 6 estimation study.
+type EstimatePoint struct {
+	// Labels identify the point (borough, age group).
+	Labels []string
+	// Correct is the true average value.
+	Correct float64
+	// Median is the median worker estimate.
+	Median float64
+}
+
+// EstimationStudy simulates Figure 6: workers listen to a speech and
+// estimate the target value of each data point (a scope within the
+// relation). hitsPerPoint workers answer every point; the median estimate
+// is reported next to the correct value.
+func EstimationStudy(rel *relation.Relation, speech []fact.Fact, points []fact.Scope, target int, prior float64, workers []Worker, hitsPerPoint int) []EstimatePoint {
+	out := make([]EstimatePoint, 0, len(points))
+	for _, scope := range points {
+		view := rel.FullView().Select(scope.Predicates())
+		if view.NumRows() == 0 {
+			continue
+		}
+		correct := view.Stats(target).Mean()
+		// The in-scope fact values for a representative row of the point.
+		row := view.Row(0)
+		var estimates []float64
+		for h := 0; h < hitsPerPoint; h++ {
+			w := &workers[h%len(workers)]
+			estimates = append(estimates, w.Estimate(rel, speech, row, prior, correct))
+		}
+		labels := make([]string, scope.Len())
+		for i, d := range scope.Dims {
+			labels[i] = rel.Dim(d).Value(scope.Codes[i])
+		}
+		out = append(out, EstimatePoint{
+			Labels:  labels,
+			Correct: correct,
+			Median:  stats.Median(estimates),
+		})
+	}
+	return out
+}
+
+// ConflictCase is one question of the Figure 7 study: a point where two
+// facts (one per dimension) are in scope and propose conflicting values.
+type ConflictCase struct {
+	// InScope are the typical values proposed by the relevant facts.
+	InScope []float64
+	// AllValues are every value mentioned in the speech.
+	AllValues []float64
+	// Truth is the accurate value for the point.
+	Truth float64
+	// Prior is the listener's default expectation.
+	Prior float64
+}
+
+// ModelError holds the Figure 7 outcome for one expectation model.
+type ModelError struct {
+	Model fact.ExpectationModel
+	// MedianError is the median |prediction − worker estimate| across
+	// cases and workers.
+	MedianError float64
+}
+
+// ConflictStudy simulates Figure 7: workers resolve conflicting facts;
+// each candidate model predicts their estimates; the model with minimal
+// median error best explains user behaviour. Because simulated workers
+// follow the Closest model by majority, Closest wins — reproducing the
+// paper's finding that validated this choice.
+func ConflictStudy(cases []ConflictCase, workers []Worker, hitsPerCase int) []ModelError {
+	predict := func(m fact.ExpectationModel, c ConflictCase) float64 {
+		switch m {
+		case fact.Closest:
+			best, bestD := c.Prior, math.Abs(c.Prior-c.Truth)
+			for _, v := range c.InScope {
+				if d := math.Abs(v - c.Truth); d < bestD {
+					best, bestD = v, d
+				}
+			}
+			return best
+		case fact.Farthest:
+			best, bestD := c.Prior, -1.0
+			for _, v := range c.InScope {
+				if d := math.Abs(v - c.Truth); d > bestD {
+					best, bestD = v, d
+				}
+			}
+			return best
+		case fact.AvgScope:
+			return stats.Mean(c.InScope)
+		default: // AvgAll
+			return stats.Mean(c.AllValues)
+		}
+	}
+	var out []ModelError
+	for _, m := range fact.Models() {
+		var errs []float64
+		for _, c := range cases {
+			for h := 0; h < hitsPerCase; h++ {
+				w := &workers[h%len(workers)]
+				est := w.EstimateValue(c.InScope, c.Prior, c.Truth)
+				errs = append(errs, math.Abs(predict(m, c)-est))
+			}
+		}
+		out = append(out, ModelError{Model: m, MedianError: stats.Median(errs)})
+	}
+	return out
+}
+
+// ParticipantResult is one participant of the Figure 8 interface study.
+type ParticipantResult struct {
+	// VocalTime and VisualTime are median seconds to answer three
+	// questions per interface.
+	VocalTime, VisualTime float64
+	// VocalEval and VisualEval are 1–10 usability ratings.
+	VocalEval, VisualEval float64
+}
+
+// InterfaceStudy simulates the Zoom study of Figure 8 with n
+// participants: per-participant skill shifts both interfaces, voice is
+// slightly faster for the majority (the paper: "the majority of users
+// were slightly faster using the voice interface") and usability ratings
+// mildly favour voice.
+func InterfaceStudy(n int, seed int64) []ParticipantResult {
+	workers := Panel(n, seed)
+	out := make([]ParticipantResult, n)
+	for i := range out {
+		w := &workers[i]
+		skill := 1 + w.rng.NormFloat64()*0.2
+		base := 28 * skill
+		vocal := base*0.85 + w.rng.NormFloat64()*5
+		visual := base*1.05 + w.rng.NormFloat64()*6
+		out[i] = ParticipantResult{
+			VocalTime:  clamp(vocal, 5, 60),
+			VisualTime: clamp(visual, 5, 60),
+			VocalEval:  clamp(6.5+w.rng.NormFloat64()*1.6, 1, 10),
+			VisualEval: clamp(6.0+w.rng.NormFloat64()*1.8, 1, 10),
+		}
+	}
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 { return math.Max(lo, math.Min(hi, v)) }
+
+// RankSpeeches sorts speech variants by accuracy ascending and returns
+// the indices of (worst, median, best), the selection protocol of the
+// Figure 5 study over 100 random speeches.
+func RankSpeeches(accuracies []float64) (worst, median, best int) {
+	idx := make([]int, len(accuracies))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return accuracies[idx[a]] < accuracies[idx[b]] })
+	return idx[0], idx[len(idx)/2], idx[len(idx)-1]
+}

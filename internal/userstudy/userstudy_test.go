@@ -1,0 +1,261 @@
+package userstudy
+
+import (
+	"math"
+	"testing"
+
+	"cicero/internal/dataset"
+	"cicero/internal/fact"
+)
+
+func TestPanelDeterministic(t *testing.T) {
+	a := Panel(20, 5)
+	b := Panel(20, 5)
+	for i := range a {
+		if a[i].model != b[i].model || a[i].noise != b[i].noise {
+			t.Fatal("panels differ for identical seeds")
+		}
+	}
+	c := Panel(20, 6)
+	same := true
+	for i := range a {
+		same = same && a[i].noise == c[i].noise
+	}
+	if same {
+		t.Error("different seeds produced identical panels")
+	}
+}
+
+func TestPanelModelMix(t *testing.T) {
+	workers := Panel(500, 11)
+	counts := map[fact.ExpectationModel]int{}
+	for _, w := range workers {
+		counts[w.model]++
+	}
+	if counts[fact.Closest] < 300 {
+		t.Errorf("closest workers = %d, want majority", counts[fact.Closest])
+	}
+	if counts[fact.Farthest] == 0 || counts[fact.AvgScope] == 0 {
+		t.Error("minority models missing from panel")
+	}
+}
+
+func TestRateBounds(t *testing.T) {
+	workers := Panel(50, 3)
+	for _, w := range workers {
+		for _, q := range []float64{0, 0.5, 1} {
+			r := w.Rate(q)
+			if r < 1 || r > 10 {
+				t.Fatalf("rating %v out of bounds", r)
+			}
+		}
+	}
+}
+
+func TestRateMonotoneInQuality(t *testing.T) {
+	workers := Panel(200, 9)
+	var low, high float64
+	for i := range workers {
+		low += workers[i].Rate(0.1)
+	}
+	workers = Panel(200, 9) // fresh RNG state
+	for i := range workers {
+		high += workers[i].Rate(0.9)
+	}
+	if high <= low {
+		t.Errorf("avg rating for high quality (%v) not above low (%v)", high/200, low/200)
+	}
+}
+
+func TestPreferenceStudyOrdering(t *testing.T) {
+	// Reproduces Figure 5's shape: best-ranked speech out-rates and
+	// out-wins worst-ranked on every adjective.
+	profiles := []SpeechProfile{
+		{Name: "Worst", Accuracy: 0.15, Precision: 1, Diversity: 0.4, Brevity: 0.8},
+		{Name: "Medium", Accuracy: 0.5, Precision: 1, Diversity: 0.6, Brevity: 0.8},
+		{Name: "Best", Accuracy: 0.95, Precision: 1, Diversity: 0.8, Brevity: 0.8},
+	}
+	results := PreferenceStudy(profiles, Adjectives4, Panel(50, 21))
+	for _, adj := range Adjectives4 {
+		if !(results[2].AvgRating[adj] > results[0].AvgRating[adj]) {
+			t.Errorf("%s: best rating %.2f not above worst %.2f",
+				adj, results[2].AvgRating[adj], results[0].AvgRating[adj])
+		}
+		if !(results[2].Wins[adj] > results[0].Wins[adj]) {
+			t.Errorf("%s: best wins %d not above worst %d",
+				adj, results[2].Wins[adj], results[0].Wins[adj])
+		}
+	}
+	// Ratings live in the plausible AMT band of the paper (5-9).
+	for _, r := range results {
+		for _, adj := range Adjectives4 {
+			if r.AvgRating[adj] < 4 || r.AvgRating[adj] > 9.5 {
+				t.Errorf("%s %s rating %.2f outside plausible band", r.Name, adj, r.AvgRating[adj])
+			}
+		}
+	}
+}
+
+func TestEstimationStudyTracksSpeechQuality(t *testing.T) {
+	// Reproduces Figure 6's shape: estimates after the best speech are
+	// closer to correct values than after the worst speech.
+	rel := dataset.ACS(4000, 5)
+	target := rel.Schema().TargetIndex("visual")
+	prior := rel.FullView().Stats(target).Mean()
+
+	ageDim := rel.Schema().DimIndex("age_group")
+	boroughDim := rel.Schema().DimIndex("borough")
+
+	// Worst speech: three near-identical borough-level facts.
+	var worst []fact.Fact
+	for _, b := range []string{"Manhattan", "Brooklyn", "Queens"} {
+		code, _ := rel.Dim(boroughDim).Code(b)
+		scope := fact.NewScope([]int{boroughDim}, []int32{code})
+		v := rel.FullView().Select(scope.Predicates()).Stats(target).Mean()
+		worst = append(worst, fact.Fact{Scope: scope, Value: v})
+	}
+	// Best speech: age-group facts spanning the real variation.
+	var best []fact.Fact
+	for _, a := range []string{"Teenagers", "Adults", "Elders"} {
+		code, _ := rel.Dim(ageDim).Code(a)
+		scope := fact.NewScope([]int{ageDim}, []int32{code})
+		v := rel.FullView().Select(scope.Predicates()).Stats(target).Mean()
+		best = append(best, fact.Fact{Scope: scope, Value: v})
+	}
+
+	// The 15 points: borough × age group.
+	var points []fact.Scope
+	for _, b := range rel.Dim(boroughDim).Values() {
+		bc, _ := rel.Dim(boroughDim).Code(b)
+		for _, a := range rel.Dim(ageDim).Values() {
+			ac, _ := rel.Dim(ageDim).Code(a)
+			points = append(points, fact.NewScope([]int{boroughDim, ageDim}, []int32{bc, ac}))
+		}
+	}
+	workers := Panel(20, 33)
+	worstEst := EstimationStudy(rel, worst, points, target, prior, workers, 20)
+	bestEst := EstimationStudy(rel, best, points, target, prior, workers, 20)
+	if len(worstEst) != 15 || len(bestEst) != 15 {
+		t.Fatalf("points = %d/%d, want 15", len(worstEst), len(bestEst))
+	}
+	errOf := func(pts []EstimatePoint) float64 {
+		sum := 0.0
+		for _, p := range pts {
+			sum += math.Abs(p.Median - p.Correct)
+		}
+		return sum
+	}
+	if errOf(bestEst) >= errOf(worstEst) {
+		t.Errorf("best speech error %.1f not below worst %.1f", errOf(bestEst), errOf(worstEst))
+	}
+}
+
+func TestConflictStudyClosestWins(t *testing.T) {
+	// Reproduces Figure 7: the Closest model explains simulated worker
+	// behaviour best (lowest median error).
+	cases := []ConflictCase{
+		{InScope: []float64{30, 80}, AllValues: []float64{30, 80, 10, 50}, Truth: 72, Prior: 35},
+		{InScope: []float64{10, 50}, AllValues: []float64{30, 80, 10, 50}, Truth: 18, Prior: 35},
+		{InScope: []float64{30, 50}, AllValues: []float64{30, 80, 10, 50}, Truth: 45, Prior: 35},
+		{InScope: []float64{10, 80}, AllValues: []float64{30, 80, 10, 50}, Truth: 25, Prior: 35},
+	}
+	workers := Panel(20, 44)
+	results := ConflictStudy(cases, workers, 20)
+	if len(results) != 4 {
+		t.Fatalf("models = %d", len(results))
+	}
+	var closest, farthest float64
+	for _, r := range results {
+		switch r.Model {
+		case fact.Closest:
+			closest = r.MedianError
+		case fact.Farthest:
+			farthest = r.MedianError
+		}
+		if r.MedianError < 0 {
+			t.Errorf("negative error for %v", r.Model)
+		}
+	}
+	if closest >= farthest {
+		t.Errorf("closest error %.2f should be below farthest %.2f", closest, farthest)
+	}
+	for _, r := range results {
+		if r.Model != fact.Closest && r.MedianError < closest {
+			t.Errorf("%v error %.2f below closest %.2f", r.Model, r.MedianError, closest)
+		}
+	}
+}
+
+func TestInterfaceStudyShape(t *testing.T) {
+	// Reproduces Figure 8: most participants are slightly faster by
+	// voice; everything stays within the plotted axes.
+	results := InterfaceStudy(10, 17)
+	if len(results) != 10 {
+		t.Fatalf("participants = %d", len(results))
+	}
+	faster := 0
+	for _, p := range results {
+		if p.VocalTime < p.VisualTime {
+			faster++
+		}
+		if p.VocalTime < 5 || p.VocalTime > 60 || p.VisualTime < 5 || p.VisualTime > 60 {
+			t.Errorf("times out of plot range: %+v", p)
+		}
+		if p.VocalEval < 1 || p.VocalEval > 10 || p.VisualEval < 1 || p.VisualEval > 10 {
+			t.Errorf("evals out of range: %+v", p)
+		}
+	}
+	if faster < 6 {
+		t.Errorf("only %d/10 participants faster by voice, want majority", faster)
+	}
+}
+
+func TestRankSpeeches(t *testing.T) {
+	acc := []float64{0.5, 0.1, 0.9, 0.3, 0.7}
+	w, m, b := RankSpeeches(acc)
+	if acc[w] != 0.1 || acc[b] != 0.9 {
+		t.Errorf("worst/best = %v/%v", acc[w], acc[b])
+	}
+	if acc[m] != 0.5 {
+		t.Errorf("median = %v, want 0.5", acc[m])
+	}
+}
+
+func TestAdjectiveQualityWeights(t *testing.T) {
+	precise := SpeechProfile{Accuracy: 0.5, Precision: 1, Diversity: 0.5, Brevity: 0.5}
+	vague := SpeechProfile{Accuracy: 0.5, Precision: 0.2, Diversity: 0.5, Brevity: 0.5}
+	if adjectiveQuality(precise, "Precise") <= adjectiveQuality(vague, "Precise") {
+		t.Error("precision must raise the Precise quality")
+	}
+	if adjectiveQuality(precise, "Good") != adjectiveQuality(vague, "Good") {
+		t.Error("Good loads on accuracy only")
+	}
+	diverse := SpeechProfile{Accuracy: 0.5, Diversity: 1, Brevity: 0.5}
+	narrow := SpeechProfile{Accuracy: 0.5, Diversity: 0, Brevity: 0.5}
+	if adjectiveQuality(diverse, "Diverse") <= adjectiveQuality(narrow, "Diverse") {
+		t.Error("diversity must raise the Diverse quality")
+	}
+}
+
+func TestEstimateValueModels(t *testing.T) {
+	workers := Panel(1, 2)
+	w := &workers[0]
+	w.model = fact.Closest
+	w.noise = 0 // deterministic
+	got := w.EstimateValue([]float64{10, 100}, 0, 12)
+	if got != 10 {
+		t.Errorf("closest estimate = %v, want 10", got)
+	}
+	w.model = fact.Farthest
+	if got := w.EstimateValue([]float64{10, 100}, 0, 12); got != 100 {
+		t.Errorf("farthest estimate = %v, want 100", got)
+	}
+	w.model = fact.AvgScope
+	if got := w.EstimateValue([]float64{10, 100}, 0, 12); got != 55 {
+		t.Errorf("avg estimate = %v, want 55", got)
+	}
+	w.model = fact.AvgScope
+	if got := w.EstimateValue(nil, 7, 12); got != 7 {
+		t.Errorf("no in-scope estimate = %v, want prior 7", got)
+	}
+}

@@ -1,0 +1,144 @@
+package voice
+
+import (
+	"cicero/internal/engine"
+)
+
+// RequestType classifies incoming voice requests the way Section VIII-D
+// analyzes the deployment logs (Table III).
+type RequestType int
+
+const (
+	// Help requests ask what the system can do.
+	Help RequestType = iota
+	// Repeat requests ask for the last output again.
+	Repeat
+	// SQuery is a supported data-access query (retrieval with at most
+	// the configured number of equality predicates).
+	SQuery
+	// UQuery is an unsupported data-access query: comparisons, extrema,
+	// too many predicates, or references to unavailable data.
+	UQuery
+	// Other covers everything else (chit-chat, accidental triggers).
+	Other
+)
+
+// String names the request type as in Table III.
+func (t RequestType) String() string {
+	switch t {
+	case Help:
+		return "Help"
+	case Repeat:
+		return "Repeat"
+	case SQuery:
+		return "S-Query"
+	case UQuery:
+		return "U-Query"
+	default:
+		return "Other"
+	}
+}
+
+// RequestTypes lists all request types in Table III row order.
+func RequestTypes() []RequestType {
+	return []RequestType{Help, Repeat, SQuery, UQuery, Other}
+}
+
+// QueryKind classifies data-access queries by intent (Figure 9b).
+type QueryKind int
+
+const (
+	// Retrieval asks for values in a data subset (supported).
+	Retrieval QueryKind = iota
+	// Comparison asks for a relative comparison of two subsets.
+	Comparison
+	// Extremum asks for maxima/minima.
+	Extremum
+)
+
+// String names the query kind as in Figure 9(b).
+func (k QueryKind) String() string {
+	switch k {
+	case Retrieval:
+		return "retrieval"
+	case Comparison:
+		return "comparison"
+	default:
+		return "extremum"
+	}
+}
+
+// Classification is the analysis result for one voice request.
+type Classification struct {
+	Type RequestType
+	// Kind is meaningful only for data-access queries (S/U-Query).
+	Kind QueryKind
+	// Query is the extracted query for data-access requests.
+	Query engine.Query
+	// Predicates is the number of extracted equality predicates.
+	Predicates int
+}
+
+var (
+	helpMarkers = []string{
+		"help", "what can you", "what can i ask", "how does this work",
+		"what do you know", "instructions",
+	}
+	repeatMarkers = []string{
+		"repeat", "say that again", "come again", "once more", "pardon",
+	}
+	comparisonMarkers = []string{
+		"compare", "comparison", "versus", " vs ", "difference between",
+		"compared to", "more than", "less than", "between men and women",
+	}
+	extremumMarkers = []string{
+		"highest", "lowest", "most", "least", "best", "worst",
+		"maximum", "minimum", "max", "min", "top",
+	}
+)
+
+// containsAny reports whether any marker occurs in the normalized text on
+// word boundaries, so "stop" does not match the marker "top".
+func containsAny(text string, markers []string) bool {
+	for _, m := range markers {
+		if containsPhrase(text, Normalize(m)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Classify analyzes one voice request: first the conversational types
+// (help, repeat), then data-access queries via the extractor, split into
+// supported and unsupported per the query model of Section III.
+func Classify(text string, ex *Extractor) Classification {
+	norm := Normalize(text)
+	if containsAny(norm, helpMarkers) {
+		return Classification{Type: Help}
+	}
+	if containsAny(norm, repeatMarkers) {
+		return Classification{Type: Repeat}
+	}
+	q, hasTarget := ex.Extract(text)
+	kind := Retrieval
+	if containsAny(norm, comparisonMarkers) {
+		kind = Comparison
+	} else if containsAny(norm, extremumMarkers) {
+		kind = Extremum
+	}
+	if !hasTarget {
+		// Comparison or extremum requests about unrecognized data are
+		// unsupported queries; everything else is Other.
+		if kind != Retrieval {
+			return Classification{Type: UQuery, Kind: kind}
+		}
+		return Classification{Type: Other}
+	}
+	c := Classification{Kind: kind, Query: q, Predicates: len(q.Predicates)}
+	if kind != Retrieval || len(q.Predicates) > ex.MaxQueryLen() {
+		c.Type = UQuery
+		return c
+	}
+	c.Type = SQuery
+	return c
+}

@@ -1,0 +1,195 @@
+// Package voice simulates the voice front-end of the system (Figure 2):
+// mapping recognized text to queries (target column plus equality
+// predicates), classifying incoming requests the way Section VIII-D
+// analyzes the public deployment logs, and synthesizing deployment logs
+// for the Table III / Figure 9 experiments.
+//
+// The paper trains an extractor "with a few samples" on the Google
+// Assistant platform; this package substitutes a deterministic
+// keyword/synonym extractor trained from the same kind of samples.
+package voice
+
+import (
+	"sort"
+	"strings"
+
+	"cicero/internal/engine"
+	"cicero/internal/relation"
+)
+
+// Sample teaches the extractor that a phrase refers to a target column,
+// mirroring the few-shot intent samples of the Assistant platform.
+type Sample struct {
+	Phrase string
+	Target string
+}
+
+// Extractor maps voice-query text to structured queries.
+type Extractor struct {
+	rel *relation.Relation
+	// targetPhrases maps normalized phrases to target column names,
+	// longest-first at match time.
+	targetPhrases map[string]string
+	// values indexes normalized dimension values, longest first so
+	// multi-word values ("Staten Island") win over substrings.
+	values []valueEntry
+	// maxQueryLen bounds supported queries; longer ones are classified
+	// as unsupported.
+	maxQueryLen int
+}
+
+type valueEntry struct {
+	phrase string
+	dim    int
+	value  string
+}
+
+// NewExtractor builds an extractor for a relation. The samples provide
+// target synonyms beyond the column names themselves; the dimension value
+// vocabulary comes from the relation's dictionaries. maxQueryLen is the
+// maximal number of predicates of supported queries.
+func NewExtractor(rel *relation.Relation, samples []Sample, maxQueryLen int) *Extractor {
+	e := &Extractor{
+		rel:           rel,
+		targetPhrases: make(map[string]string),
+		maxQueryLen:   maxQueryLen,
+	}
+	for _, t := range rel.Schema().Targets {
+		e.targetPhrases[Normalize(strings.ReplaceAll(t, "_", " "))] = t
+	}
+	for _, s := range samples {
+		if rel.Schema().TargetIndex(s.Target) >= 0 {
+			e.targetPhrases[Normalize(s.Phrase)] = s.Target
+		}
+	}
+	for d := 0; d < rel.NumDims(); d++ {
+		for _, v := range rel.Dim(d).Values() {
+			e.values = append(e.values, valueEntry{
+				phrase: Normalize(v),
+				dim:    d,
+				value:  v,
+			})
+		}
+	}
+	sort.SliceStable(e.values, func(i, j int) bool {
+		if len(e.values[i].phrase) != len(e.values[j].phrase) {
+			return len(e.values[i].phrase) > len(e.values[j].phrase)
+		}
+		return e.values[i].phrase < e.values[j].phrase
+	})
+	return e
+}
+
+// Normalize lowercases text and collapses everything that is not a letter
+// or digit into single spaces, the canonical form for matching.
+func Normalize(s string) string {
+	var b strings.Builder
+	lastSpace := true
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastSpace = false
+		default:
+			if !lastSpace {
+				b.WriteByte(' ')
+				lastSpace = true
+			}
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// containsPhrase reports whether phrase occurs in text on word
+// boundaries. Both inputs must be normalized.
+func containsPhrase(text, phrase string) bool {
+	if phrase == "" {
+		return false
+	}
+	idx := 0
+	for {
+		i := strings.Index(text[idx:], phrase)
+		if i < 0 {
+			return false
+		}
+		start := idx + i
+		end := start + len(phrase)
+		okLeft := start == 0 || text[start-1] == ' '
+		okRight := end == len(text) || text[end] == ' '
+		if okLeft && okRight {
+			return true
+		}
+		idx = start + 1
+	}
+}
+
+// Extract parses voice-query text into a query. The boolean reports
+// whether a target column was recognized; without a target there is no
+// data-access query. Dimension predicates are extracted greedily, longest
+// value phrase first, at most one per dimension column.
+func (e *Extractor) Extract(text string) (engine.Query, bool) {
+	norm := Normalize(text)
+	target := ""
+	bestLen := 0
+	for phrase, t := range e.targetPhrases {
+		if len(phrase) > bestLen && containsPhrase(norm, phrase) {
+			target, bestLen = t, len(phrase)
+		}
+	}
+	if target == "" {
+		return engine.Query{}, false
+	}
+	q := engine.Query{Target: target}
+	usedDim := map[int]bool{}
+	consumed := norm
+	for _, ve := range e.values {
+		if usedDim[ve.dim] || !containsPhrase(consumed, ve.phrase) {
+			continue
+		}
+		usedDim[ve.dim] = true
+		q.Predicates = append(q.Predicates, engine.NamedPredicate{
+			Column: e.rel.Schema().Dimensions[ve.dim],
+			Value:  ve.value,
+		})
+		consumed = strings.Replace(consumed, ve.phrase, " ", 1)
+	}
+	return q.Canonical(), true
+}
+
+// MaxQueryLen returns the supported query length bound.
+func (e *Extractor) MaxQueryLen() int { return e.maxQueryLen }
+
+// ExtractDimension finds a dimension *column* mentioned by name in the
+// text ("which airline has the most cancellations" → "airline"). Used
+// by the extended extremum answering path.
+func (e *Extractor) ExtractDimension(text string) (string, bool) {
+	norm := Normalize(text)
+	best, bestLen := "", 0
+	for _, d := range e.rel.Schema().Dimensions {
+		phrase := Normalize(strings.ReplaceAll(d, "_", " "))
+		if len(phrase) > bestLen && containsPhrase(norm, phrase) {
+			best, bestLen = d, len(phrase)
+		}
+	}
+	return best, best != ""
+}
+
+// ExtractValues returns every dimension value mentioned in the text, in
+// match order, without the one-predicate-per-dimension restriction of
+// Extract. Comparisons mention two values of the same dimension
+// ("between men and women"), which Extract by design collapses.
+func (e *Extractor) ExtractValues(text string) []engine.NamedPredicate {
+	consumed := Normalize(text)
+	var out []engine.NamedPredicate
+	for _, ve := range e.values {
+		if !containsPhrase(consumed, ve.phrase) {
+			continue
+		}
+		out = append(out, engine.NamedPredicate{
+			Column: e.rel.Schema().Dimensions[ve.dim],
+			Value:  ve.value,
+		})
+		consumed = strings.Replace(consumed, ve.phrase, " ", 1)
+	}
+	return out
+}
