@@ -106,6 +106,49 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+func TestPublicAPIServingLayer(t *testing.T) {
+	rel := dataset.Flights(1200, 1)
+	cfg := cicero.DefaultConfig(rel)
+	cfg.Targets = []string{"delay"}
+	cfg.MaxQueryLen = 1
+	s := &cicero.Summarizer{Rel: rel, Config: cfg, Alg: cicero.AlgGreedyOpt,
+		Template: cicero.Template{Unit: "minutes"}}
+	store, _, err := s.Preprocess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := cicero.NewVoiceExtractor(rel, []cicero.VoiceSample{
+		{Phrase: "delays", Target: "delay"},
+	}, 1)
+	a := cicero.NewAnswerer(rel, store, ex, cicero.ServeOptions{})
+
+	ans := a.Answer("delays in Winter")
+	if ans.Kind != cicero.KindSummary || !ans.Answered || ans.Matched == nil {
+		t.Fatalf("serving answer = %+v", ans)
+	}
+	if !strings.Contains(ans.Text, "minutes") {
+		t.Errorf("speech = %q", ans.Text)
+	}
+	// The session layer handles repeat.
+	sess := a.NewSession()
+	sess.Answer("delays in Winter")
+	if rep := sess.Answer("say that again"); rep.Text != ans.Text || !rep.Answered {
+		t.Errorf("repeat = %+v", rep)
+	}
+	// Batch replay reports percentiles.
+	res := a.AnswerBatch([]string{"delays in Winter", "delays in Summer", "help"}, 2)
+	if res.Answered != 3 || res.Latency.P99 <= 0 {
+		t.Errorf("batch = %+v", res)
+	}
+	// A frozen store rejects further mutation.
+	defer func() {
+		if recover() == nil {
+			t.Error("Add on a served store must panic")
+		}
+	}()
+	store.Add(&cicero.StoredSpeech{Query: cicero.Query{Target: "delay"}})
+}
+
 func TestPublicAPIExtendedQueries(t *testing.T) {
 	rel := dataset.Flights(8000, 1)
 	a, err := cicero.AnswerExtremum(rel, "cancelled", "month", nil, cicero.Max, 20)

@@ -1,26 +1,33 @@
-// Command voicequery is an interactive voice-query REPL: it pre-processes
-// a data set, then reads (typed) voice requests from stdin, classifies
-// them, and answers supported queries from the pre-generated speech
-// store — the full run-time pipeline of the paper's Figure 2 minus the
-// actual microphone.
+// Command voicequery drives the serving layer: it pre-processes a data
+// set into a speech store, then either runs an interactive (typed) voice
+// REPL — the full run-time pipeline of the paper's Figure 2 minus the
+// actual microphone — or replays a query log concurrently and reports
+// serving-latency percentiles.
 //
 // Usage:
 //
 //	voicequery -data flights
 //	> cancellations in Winter?
+//
+//	voicequery -data flights -batch queries.txt -workers 8
+//
+// In batch mode the input file holds one request per line ("-" reads
+// stdin); the report gives per-kind counts, throughput, and p50/p95/p99
+// serving latency.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"cicero/internal/dataset"
 	"cicero/internal/engine"
-	"cicero/internal/relation"
+	"cicero/internal/serve"
 	"cicero/internal/voice"
 )
 
@@ -60,62 +67,13 @@ func samplesFor(name string) []voice.Sample {
 	}
 }
 
-// answerExtended handles extremum and comparison queries at run time.
-func answerExtended(rel *relation.Relation, ex *voice.Extractor, c voice.Classification, text string) (string, bool) {
-	if c.Query.Target == "" {
-		return "", false
-	}
-	switch c.Kind {
-	case voice.Extremum:
-		dim, ok := ex.ExtractDimension(text)
-		if !ok {
-			return "", false
-		}
-		kind := engine.Max
-		norm := voice.Normalize(text)
-		for _, w := range []string{"lowest", "least", "minimum", "min", "fewest"} {
-			if strings.Contains(norm, w) {
-				kind = engine.Min
-			}
-		}
-		_, preds, err := c.Query.Resolve(rel)
-		if err != nil {
-			return "", false
-		}
-		a, err := engine.AnswerExtremum(rel, c.Query.Target, dim, preds, kind, 10)
-		if err != nil {
-			return "", false
-		}
-		return a.Text(kind, c.Query.Target), true
-	case voice.Comparison:
-		vals := ex.ExtractValues(text)
-		if len(vals) < 2 {
-			return "", false
-		}
-		a, b := vals[0], vals[1]
-		pa, err := rel.PredicateByName(a.Column, a.Value)
-		if err != nil {
-			return "", false
-		}
-		pb, err := rel.PredicateByName(b.Column, b.Value)
-		if err != nil {
-			return "", false
-		}
-		cmp, err := engine.AnswerComparison(rel, c.Query.Target,
-			[]relation.Predicate{pa}, []relation.Predicate{pb})
-		if err != nil {
-			return "", false
-		}
-		return cmp.Text(c.Query.Target, a.Value, b.Value), true
-	}
-	return "", false
-}
-
 func main() {
 	var (
-		dataName = flag.String("data", "flights", "data set: acs, stackoverflow, flights, primaries")
-		maxLen   = flag.Int("maxlen", 2, "maximal query length")
-		seed     = flag.Int64("seed", 1, "data generation seed")
+		dataName  = flag.String("data", "flights", "data set: acs, stackoverflow, flights, primaries")
+		maxLen    = flag.Int("maxlen", 2, "maximal query length")
+		seed      = flag.Int64("seed", 1, "data generation seed")
+		batchPath = flag.String("batch", "", "replay a request log (one per line, \"-\" for stdin) instead of the REPL")
+		workers   = flag.Int("workers", 4, "concurrent serving workers in batch mode")
 	)
 	flag.Parse()
 
@@ -123,6 +81,17 @@ func main() {
 	if rel == nil {
 		fmt.Fprintf(os.Stderr, "voicequery: unknown data set %q\n", *dataName)
 		os.Exit(1)
+	}
+
+	// Read the batch input before the (expensive) pre-processing so a
+	// bad path or empty log fails fast.
+	var batch []string
+	if *batchPath != "" {
+		var err error
+		if batch, err = readBatch(*batchPath); err != nil {
+			fmt.Fprintln(os.Stderr, "voicequery:", err)
+			os.Exit(1)
+		}
 	}
 
 	cfg := engine.DefaultConfig(rel)
@@ -138,8 +107,45 @@ func main() {
 	fmt.Fprintf(os.Stderr, " %d speeches in %v\n", stats.Speeches, time.Since(start).Round(time.Millisecond))
 
 	ex := voice.NewExtractor(rel, samplesFor(strings.ToLower(*dataName)), *maxLen)
-	lastAnswer := "I have not said anything yet."
+	answerer := serve.New(rel, store, ex, serve.Options{})
 
+	if *batchPath != "" {
+		runBatch(answerer, batch, *workers)
+		return
+	}
+	runREPL(answerer)
+}
+
+// readBatch loads a request log, one request per line ("-" reads stdin).
+func readBatch(path string) ([]string, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var texts []string
+	scanner := bufio.NewScanner(r)
+	for scanner.Scan() {
+		if t := strings.TrimSpace(scanner.Text()); t != "" {
+			texts = append(texts, t)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if len(texts) == 0 {
+		return nil, fmt.Errorf("batch input %q holds no requests", path)
+	}
+	return texts, nil
+}
+
+// runREPL is the interactive loop: a thin shell over one serving session.
+func runREPL(a *serve.Answerer) {
+	session := a.NewSession()
 	fmt.Println("Ask about the data (e.g. \"cancellations in Winter?\"); \"help\" lists columns; ctrl-D exits.")
 	scanner := bufio.NewScanner(os.Stdin)
 	for {
@@ -151,34 +157,33 @@ func main() {
 		if text == "" {
 			continue
 		}
-		c := voice.Classify(text, ex)
-		switch c.Type {
-		case voice.Help:
-			fmt.Printf("You can ask about %s, restricted by %s.\n",
-				strings.Join(rel.Schema().Targets, ", "),
-				strings.Join(rel.Schema().Dimensions, ", "))
-		case voice.Repeat:
-			fmt.Println(lastAnswer)
-		case voice.SQuery:
-			sp, latency, ok := engine.Answer(store, c.Query)
-			if !ok {
-				fmt.Println("I have no answer for that data subset.")
-				continue
-			}
-			lastAnswer = sp.Text
-			fmt.Printf("%s\n  (matched %q, lookup %v)\n", sp.Text, sp.Query.String(), latency)
-		case voice.UQuery:
-			// Extension beyond the paper's deployment: extrema and
-			// comparisons (the dominant unsupported query types in the
-			// logs) are answered by run-time aggregation.
-			if answer, ok := answerExtended(rel, ex, c, text); ok {
-				lastAnswer = answer
-				fmt.Println(answer)
-				continue
-			}
-			fmt.Printf("Sorry, %s queries are not supported; try asking for average values of a data subset.\n", c.Kind)
-		default:
-			fmt.Println("Sorry, I did not understand. Say \"help\" for what I know.")
+		ans := session.Answer(text)
+		fmt.Println(ans.Text)
+		if ans.Kind == serve.Summary {
+			fmt.Printf("  (matched %q, served in %v)\n",
+				ans.Matched.Query.String(), ans.Latency)
 		}
 	}
+}
+
+// runBatch replays a request log concurrently and prints the serving
+// report: per-kind counts, throughput, and latency percentiles.
+func runBatch(a *serve.Answerer, texts []string, workers int) {
+	res := a.AnswerBatch(texts, workers)
+	byKind := map[serve.Kind]int{}
+	for _, ans := range res.Answers {
+		byKind[ans.Kind]++
+	}
+	fmt.Printf("served %d requests with %d workers in %v (%.0f req/s)\n",
+		len(texts), workers, res.Elapsed.Round(time.Millisecond), res.Throughput)
+	fmt.Printf("answered: %d (%.0f%%)\n", res.Answered,
+		100*float64(res.Answered)/float64(len(texts)))
+	for _, k := range []serve.Kind{serve.Summary, serve.Extremum, serve.Comparison,
+		serve.Help, serve.Repeat, serve.Unsupported, serve.Unknown} {
+		if byKind[k] > 0 {
+			fmt.Printf("  %-12s %d\n", k.String(), byKind[k])
+		}
+	}
+	fmt.Printf("latency p50 %v  p95 %v  p99 %v  max %v\n",
+		res.Latency.P50, res.Latency.P95, res.Latency.P99, res.Latency.Max)
 }

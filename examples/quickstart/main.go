@@ -45,4 +45,23 @@ func main() {
 		summary.PriorError, summary.Utility, 100*summary.ScaledUtility())
 	tpl := cicero.Template{Unit: "euros"}
 	fmt.Println(tpl.Render(rel, cicero.Query{Target: "price"}, summary.Facts))
+
+	// Serving: pre-generate speeches for every supported query, then
+	// answer voice requests through the unified serving layer.
+	cfg := cicero.DefaultConfig(rel)
+	cfg.MaxQueryLen = 1
+	s := &cicero.Summarizer{Rel: rel, Config: cfg, Alg: cicero.AlgGreedyOpt,
+		Template: tpl}
+	store, _, err := s.Preprocess()
+	if err != nil {
+		panic(err)
+	}
+	ex := cicero.NewVoiceExtractor(rel, nil, cfg.MaxQueryLen)
+	// The toy relation has two rows per city, so lower the extremum
+	// group-size floor accordingly.
+	answerer := cicero.NewAnswerer(rel, store, ex, cicero.ServeOptions{MinExtremumRows: 1})
+	for _, q := range []string{"price in Berlin", "which city has the highest price"} {
+		ans := answerer.Answer(q)
+		fmt.Printf("Q: %s\nA: %s  [%s, %v]\n", q, ans.Text, ans.Kind, ans.Latency)
+	}
 }

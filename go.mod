@@ -1,0 +1,3 @@
+module cicero
+
+go 1.24

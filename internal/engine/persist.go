@@ -79,7 +79,9 @@ func (s *Store) SaveFile(path string, rel *relation.Relation) error {
 // LoadStore reads a store written by Save, re-resolving scope names
 // against the relation's current dictionaries. Facts whose values no
 // longer appear in the data are dropped from their speech (the speech
-// text is kept verbatim).
+// text is kept verbatim). The returned store is frozen, ready for
+// concurrent serving; Add panics on it. To extend a persisted store,
+// rebuild it with NewStore and Add from Speeches().
 func LoadStore(r io.Reader, rel *relation.Relation) (*Store, error) {
 	var in persistedStore
 	dec := json.NewDecoder(r)
@@ -125,7 +127,7 @@ func LoadStore(r io.Reader, rel *relation.Relation) (*Store, error) {
 		}
 		store.Add(sp)
 	}
-	return store, nil
+	return store.Freeze(), nil
 }
 
 // LoadStoreFile reads a store from a file path.

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"cicero/internal/relation"
@@ -22,27 +21,16 @@ type Query struct {
 	Predicates []NamedPredicate `json:"predicates,omitempty"`
 }
 
-// Canonical returns a copy with predicates sorted by column then value.
+// Canonical returns a copy with predicates sorted by column then value
+// and deduplicated — predicate conjunctions are sets, so a repeated
+// predicate does not change the query's identity.
 func (q Query) Canonical() Query {
-	out := Query{Target: q.Target, Predicates: append([]NamedPredicate(nil), q.Predicates...)}
-	sort.Slice(out.Predicates, func(i, j int) bool {
-		if out.Predicates[i].Column != out.Predicates[j].Column {
-			return out.Predicates[i].Column < out.Predicates[j].Column
-		}
-		return out.Predicates[i].Value < out.Predicates[j].Value
-	})
-	return out
+	return Query{Target: q.Target, Predicates: canonicalPreds(q.Predicates)}
 }
 
 // Key returns a canonical string identity for store lookups.
 func (q Query) Key() string {
-	c := q.Canonical()
-	var b strings.Builder
-	b.WriteString(c.Target)
-	for _, p := range c.Predicates {
-		fmt.Fprintf(&b, "|%s=%s", p.Column, p.Value)
-	}
-	return b.String()
+	return predsKey(q.Target, canonicalPreds(q.Predicates))
 }
 
 // String renders the query for logs and demos.

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sort"
+	"strings"
 
 	"cicero/internal/fact"
 )
@@ -19,41 +20,119 @@ type StoredSpeech struct {
 // matcher of Section III: an incoming query is answered by the speech for
 // exactly its data subset if one exists, otherwise by the speech
 // describing the most specific subset that contains the queried one
-// (predicates S ⊆ Q with |S ∩ Q| maximal).
+// (predicates S ⊆ Q with |S| maximal; ties break to the lexicographically
+// smallest canonical key, so lookups are deterministic).
+//
+// The store is a build-then-serve structure: Add interns each query into
+// its canonical key and maintains a per-target generalization index, and
+// Freeze seals the store for serving. A frozen store is immutable, so any
+// number of goroutines may call Exact/Lookup/Speeches concurrently — the
+// property the serving layer relies on for lock-free answering.
+//
+// Lookup does not scan the speeches of a target. Because stored queries
+// have at most maxPreds predicates per target (bounded by the
+// configuration's MaxQueryLen), the most specific generalization is found
+// by probing the canonical keys of the incoming query's predicate subsets
+// of size ≤ maxPreds, largest first — O(C(|Q|, maxPreds)) map probes,
+// effectively constant for voice-sized queries. For adversarially wide
+// queries, where subset enumeration would exceed enumBudget probes,
+// Lookup switches to intersecting per-predicate posting lists instead;
+// both paths return the identical speech.
 type Store struct {
 	byKey    map[string]*StoredSpeech
-	byTarget map[string][]*StoredSpeech
+	byTarget map[string]*targetIndex
+	frozen   bool
 }
+
+// targetIndex is the per-target half of the generalization index.
+type targetIndex struct {
+	// speeches lists the target's speeches in insertion order; Add
+	// replaces entries in place so posting-list indices stay valid.
+	speeches []*StoredSpeech
+	// keys caches each speech's canonical key (computed once in Add) for
+	// tie-breaking without re-canonicalizing queries per candidate.
+	keys []string
+	// posting maps each predicate to the indices of the speeches whose
+	// query contains it.
+	posting map[NamedPredicate][]int32
+	// overall is the index of the zero-predicate speech, -1 if absent.
+	overall int32
+	// maxPreds is the widest stored predicate set for the target; lookup
+	// never probes subsets larger than this.
+	maxPreds int
+}
+
+// enumBudget bounds the candidate keys probed per lookup before Lookup
+// falls back from subset enumeration to posting-list intersection.
+const enumBudget = 4096
 
 // NewStore returns an empty speech store.
 func NewStore() *Store {
 	return &Store{
 		byKey:    make(map[string]*StoredSpeech),
-		byTarget: make(map[string][]*StoredSpeech),
+		byTarget: make(map[string]*targetIndex),
 	}
 }
 
 // Add inserts a speech, replacing any previous speech for the same query.
+// The speech's query is interned into canonical predicate order. Add
+// panics on a frozen store.
 func (s *Store) Add(sp *StoredSpeech) {
+	if s.frozen {
+		panic("engine: Add on a frozen speech store")
+	}
+	sp.Query = sp.Query.Canonical()
 	key := sp.Query.Key()
+	ti := s.byTarget[sp.Query.Target]
+	if ti == nil {
+		ti = &targetIndex{posting: make(map[NamedPredicate][]int32), overall: -1}
+		s.byTarget[sp.Query.Target] = ti
+	}
 	if old, ok := s.byKey[key]; ok {
-		// Replace in the target list.
-		list := s.byTarget[sp.Query.Target]
-		for i, e := range list {
+		// Same canonical key means the same predicate set: swap the
+		// speech in place, posting lists keep pointing at its slot.
+		for i, e := range ti.speeches {
 			if e == old {
-				list[i] = sp
+				ti.speeches[i] = sp
 				break
 			}
 		}
 		s.byKey[key] = sp
 		return
 	}
+	idx := int32(len(ti.speeches))
+	ti.speeches = append(ti.speeches, sp)
+	ti.keys = append(ti.keys, key)
+	for _, p := range sp.Query.Predicates {
+		ti.posting[p] = append(ti.posting[p], idx)
+	}
+	if len(sp.Query.Predicates) == 0 {
+		ti.overall = idx
+	}
+	if len(sp.Query.Predicates) > ti.maxPreds {
+		ti.maxPreds = len(sp.Query.Predicates)
+	}
 	s.byKey[key] = sp
-	s.byTarget[sp.Query.Target] = append(s.byTarget[sp.Query.Target], sp)
 }
+
+// Freeze seals the store: further Add calls panic, and concurrent lookups
+// are safe. Freeze returns the store for chaining.
+func (s *Store) Freeze() *Store {
+	s.frozen = true
+	return s
+}
+
+// Frozen reports whether the store has been sealed.
+func (s *Store) Frozen() bool { return s.frozen }
 
 // Len returns the number of stored speeches.
 func (s *Store) Len() int { return len(s.byKey) }
+
+// HasTarget reports whether any speech exists for the target column.
+func (s *Store) HasTarget(target string) bool {
+	ti := s.byTarget[target]
+	return ti != nil && len(ti.speeches) > 0
+}
 
 // Exact returns the speech pre-generated for precisely this query.
 func (s *Store) Exact(q Query) (*StoredSpeech, bool) {
@@ -63,20 +142,129 @@ func (s *Store) Exact(q Query) (*StoredSpeech, bool) {
 
 // Lookup returns the best speech for the query: the exact match when
 // available, otherwise the most specific generalization (maximal number
-// of shared predicates). The boolean reports whether any speech for the
-// target exists.
+// of shared predicates, ties broken by smallest canonical key). The
+// boolean reports whether an exact match or a containing generalization
+// was found — NOT merely whether any speech for the target exists; a
+// query whose predicates contradict everything stored for its target
+// returns false even though the target has speeches (use HasTarget for
+// that question).
 func (s *Store) Lookup(q Query) (*StoredSpeech, bool) {
+	sp, _, ok := s.Match(q)
+	return sp, ok
+}
+
+// Match is Lookup plus match metadata: exact reports whether the served
+// speech describes the query's own data subset rather than a containing
+// generalization. The serving layer uses this to answer and annotate in
+// a single store probe.
+func (s *Store) Match(q Query) (sp *StoredSpeech, exact, ok bool) {
+	// One canonicalization serves the exact probe and both index paths.
+	preds := canonicalPreds(q.Predicates)
+	if sp, ok := s.byKey[predsKey(q.Target, preds)]; ok {
+		return sp, true, true
+	}
+	ti := s.byTarget[q.Target]
+	if ti == nil {
+		return nil, false, false
+	}
+	top := len(preds)
+	if ti.maxPreds < top {
+		top = ti.maxPreds
+	}
+	// Probe subsets largest-first; the first size with any hit holds the
+	// most specific generalization.
+	if enumFits(len(preds), top) {
+		sp, ok = s.lookupEnum(q.Target, preds, top)
+	} else {
+		sp, ok = s.lookupPosting(ti, preds)
+	}
+	return sp, false, ok
+}
+
+// lookupEnum probes the canonical keys of all predicate subsets of size
+// k = top..0; the smallest key among the hits of the first non-empty size
+// is the deterministic winner.
+func (s *Store) lookupEnum(target string, preds []NamedPredicate, top int) (*StoredSpeech, bool) {
+	idx := make([]int, 0, top)
+	for k := top; k >= 0; k-- {
+		var best *StoredSpeech
+		bestKey := ""
+		var walk func(start int)
+		walk = func(start int) {
+			if len(idx) == k {
+				key := subsetKey(target, preds, idx)
+				if sp, ok := s.byKey[key]; ok {
+					if best == nil || key < bestKey {
+						best, bestKey = sp, key
+					}
+				}
+				return
+			}
+			for i := start; i <= len(preds)-(k-len(idx)); i++ {
+				idx = append(idx, i)
+				walk(i + 1)
+				idx = idx[:len(idx)-1]
+			}
+		}
+		walk(0)
+		if best != nil {
+			return best, true
+		}
+	}
+	return nil, false
+}
+
+// lookupPosting finds the most specific generalization by counting, for
+// every speech referenced from the query predicates' posting lists, how
+// many of its predicates the query shares. A speech is a generalization
+// iff the count equals its own predicate count.
+func (s *Store) lookupPosting(ti *targetIndex, preds []NamedPredicate) (*StoredSpeech, bool) {
+	counts := make(map[int32]int, 16)
+	for _, p := range preds {
+		for _, idx := range ti.posting[p] {
+			counts[idx]++
+		}
+	}
+	var best *StoredSpeech
+	bestShared, bestKey := -1, ""
+	for idx, n := range counts {
+		sp := ti.speeches[idx]
+		if n != len(sp.Query.Predicates) {
+			continue
+		}
+		if n > bestShared || (n == bestShared && ti.keys[idx] < bestKey) {
+			best, bestShared, bestKey = sp, n, ti.keys[idx]
+		}
+	}
+	if best == nil && ti.overall >= 0 {
+		best = ti.speeches[ti.overall]
+	}
+	if best == nil {
+		return nil, false
+	}
+	return best, true
+}
+
+// lookupScan is the pre-index linear matcher, kept as the benchmark
+// baseline (BenchmarkStoreLookup) and as a cross-check oracle in tests.
+// It applies the same tie-break as the indexed paths.
+func (s *Store) lookupScan(q Query) (*StoredSpeech, bool) {
 	if sp, ok := s.Exact(q); ok {
 		return sp, true
 	}
+	ti := s.byTarget[q.Target]
+	if ti == nil {
+		return nil, false
+	}
 	var best *StoredSpeech
-	bestShared := -1
-	for _, sp := range s.byTarget[q.Target] {
+	bestShared, bestKey := -1, ""
+	for i, sp := range ti.speeches {
 		if !sp.Query.SubsetOf(q) {
 			continue
 		}
-		if shared := len(sp.Query.Predicates); shared > bestShared {
-			best, bestShared = sp, shared
+		shared := len(sp.Query.Predicates)
+		if shared > bestShared || (shared == bestShared && ti.keys[i] < bestKey) {
+			best, bestShared, bestKey = sp, shared, ti.keys[i]
 		}
 	}
 	if best == nil {
@@ -97,4 +285,72 @@ func (s *Store) Speeches() []*StoredSpeech {
 		out[i] = s.byKey[k]
 	}
 	return out
+}
+
+// canonicalPreds returns the predicates sorted by column then value and
+// deduplicated (generalization matching is over predicate sets), without
+// mutating the input.
+func canonicalPreds(preds []NamedPredicate) []NamedPredicate {
+	out := append([]NamedPredicate(nil), preds...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Column != out[j].Column {
+			return out[i].Column < out[j].Column
+		}
+		return out[i].Value < out[j].Value
+	})
+	w := 0
+	for i, p := range out {
+		if i == 0 || p != out[w-1] {
+			out[w] = p
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// subsetKey builds the canonical key of the predicate subset selected by
+// idx (ascending positions into the canonically sorted preds).
+func subsetKey(target string, preds []NamedPredicate, idx []int) string {
+	var b strings.Builder
+	b.WriteString(target)
+	for _, i := range idx {
+		b.WriteByte('|')
+		b.WriteString(preds[i].Column)
+		b.WriteByte('=')
+		b.WriteString(preds[i].Value)
+	}
+	return b.String()
+}
+
+// predsKey builds the canonical key of canonically sorted predicates.
+func predsKey(target string, preds []NamedPredicate) string {
+	var b strings.Builder
+	b.WriteString(target)
+	for _, p := range preds {
+		b.WriteByte('|')
+		b.WriteString(p.Column)
+		b.WriteByte('=')
+		b.WriteString(p.Value)
+	}
+	return b.String()
+}
+
+// enumFits reports whether probing all predicate subsets of sizes top..0
+// over n predicates stays within enumBudget keys.
+func enumFits(n, top int) bool {
+	total := 0
+	for k := top; k >= 0; k-- {
+		c := 1
+		for i := 0; i < k; i++ {
+			c = c * (n - i) / (i + 1)
+			if c > enumBudget {
+				return false
+			}
+		}
+		total += c
+		if total > enumBudget {
+			return false
+		}
+	}
+	return true
 }

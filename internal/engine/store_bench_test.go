@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// buildBenchStore fills a store with n speeches for one target — the
+// worst case for the pre-index matcher, which scanned every speech of the
+// queried target. Predicate sets have 0–3 predicates drawn from a
+// vocabulary wide enough that queries rarely hit exactly.
+func buildBenchStore(n int) (*Store, []Query) {
+	rng := rand.New(rand.NewSource(42))
+	st := NewStore()
+	st.Add(&StoredSpeech{Query: Query{Target: "t"}, Text: "overall"})
+	for st.Len() < n {
+		preds := benchPreds(rng, 1+rng.Intn(3))
+		st.Add(&StoredSpeech{
+			Query: Query{Target: "t", Predicates: preds},
+			Text:  "speech",
+		})
+	}
+	st.Freeze()
+	// Query mix: three predicates each, so most lookups resolve through
+	// the generalization match rather than the exact map.
+	queries := make([]Query, 256)
+	for i := range queries {
+		queries[i] = Query{Target: "t", Predicates: benchPreds(rng, 3)}
+	}
+	return st, queries
+}
+
+func benchPreds(rng *rand.Rand, k int) []NamedPredicate {
+	// 16 columns × 12 values support ~10^6 distinct predicate sets, so
+	// the builder reaches 10^5 distinct speeches without stalling.
+	cols := rng.Perm(16)[:k]
+	preds := make([]NamedPredicate, k)
+	for i, c := range cols {
+		preds[i] = NamedPredicate{
+			Column: fmt.Sprintf("c%02d", c),
+			Value:  fmt.Sprintf("v%02d", rng.Intn(12)),
+		}
+	}
+	return preds
+}
+
+// BenchmarkStoreLookup compares the indexed generalization match against
+// the pre-refactor linear scan as the store grows from 10^3 to 10^5
+// speeches. The indexed path is size-independent (a handful of map
+// probes); the scan degrades linearly with speeches per target.
+func BenchmarkStoreLookup(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		st, queries := buildBenchStore(n)
+		b.Run(fmt.Sprintf("n=%d/indexed", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ok := st.Lookup(queries[i%len(queries)]); !ok {
+					b.Fatal("lookup missed despite overall speech")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/linear-scan", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ok := st.lookupScan(queries[i%len(queries)]); !ok {
+					b.Fatal("scan missed despite overall speech")
+				}
+			}
+		})
+	}
+}

@@ -165,7 +165,9 @@ func (s *Summarizer) PreprocessProblems(problems []Problem) (*Store, BatchStats,
 	if stats.Speeches > 0 {
 		stats.PerQuery = stats.Elapsed / time.Duration(stats.Speeches)
 	}
-	return store, stats, nil
+	// The batch is complete: seal the store so run-time lookups may run
+	// lock-free from any number of goroutines.
+	return store.Freeze(), stats, nil
 }
 
 // solveParallel fans problems out over s.Workers goroutines. The first
@@ -221,6 +223,10 @@ func (s *Summarizer) solveProblem(p *Problem, opts summarize.Options) (summarize
 // of Figure 10: our system merely retrieves the best pre-generated
 // speech, so latency is microseconds instead of the baseline's sampling
 // seconds.
+//
+// Deprecated: use the serve package's Answerer, which routes every
+// request type (summary, extremum, comparison, help, repeat) through one
+// entry point and returns uniform answer metadata.
 func Answer(store *Store, q Query) (*StoredSpeech, time.Duration, bool) {
 	start := time.Now()
 	sp, ok := store.Lookup(q)

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the concurrent half of the serving layer: a batch mode
+// that replays a query log with N workers against one shared Answerer,
+// the workload shape of the ROADMAP's heavy-multi-user north star. The
+// latency percentiles it reports are the serving-side counterpart of the
+// paper's Figure 10 lookup-latency measurement.
+
+// LatencyStats summarizes per-request serving latency.
+type LatencyStats struct {
+	P50, P95, P99 time.Duration
+	Mean, Max     time.Duration
+}
+
+// BatchResult is the outcome of replaying a request log.
+type BatchResult struct {
+	// Answers holds one answer per input, in input order.
+	Answers []Answer
+	// Answered counts answers with real content (Answer.Answered).
+	Answered int
+	// Elapsed is the wall-clock time for the whole batch.
+	Elapsed time.Duration
+	// Throughput is requests per second over the batch.
+	Throughput float64
+	// Latency aggregates the per-request serving latencies.
+	Latency LatencyStats
+}
+
+// AnswerBatch replays texts against the Answerer with the given number of
+// concurrent workers (values below 2 run sequentially) and returns every
+// answer plus latency percentiles. The Answerer is stateless, so workers
+// share it without synchronization; repeat requests see no history.
+func (a *Answerer) AnswerBatch(texts []string, workers int) BatchResult {
+	start := time.Now()
+	answers := make([]Answer, len(texts))
+	if workers < 2 {
+		for i, t := range texts {
+			answers[i] = a.Answer(t)
+		}
+	} else {
+		if workers > len(texts) {
+			workers = len(texts)
+		}
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					answers[i] = a.Answer(texts[i])
+				}
+			}()
+		}
+		for i := range texts {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	res := BatchResult{Answers: answers, Elapsed: time.Since(start)}
+	lats := make([]time.Duration, 0, len(answers))
+	var sum time.Duration
+	for _, ans := range answers {
+		if ans.Answered {
+			res.Answered++
+		}
+		lats = append(lats, ans.Latency)
+		sum += ans.Latency
+		if ans.Latency > res.Latency.Max {
+			res.Latency.Max = ans.Latency
+		}
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		res.Latency.P50 = percentile(lats, 0.50)
+		res.Latency.P95 = percentile(lats, 0.95)
+		res.Latency.P99 = percentile(lats, 0.99)
+		res.Latency.Mean = sum / time.Duration(len(lats))
+	}
+	if res.Elapsed > 0 {
+		res.Throughput = float64(len(texts)) / res.Elapsed.Seconds()
+	}
+	return res
+}
+
+// percentile returns the nearest-rank percentile of sorted latencies.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,298 @@
+// Package serve is the unified run-time serving layer: one front door —
+// the Answerer — takes any voice request, classifies it, routes it to the
+// matching backend (indexed speech-store lookup for supported summary
+// queries, run-time aggregation for extrema and comparisons, canned
+// conversational answers for help and repeat), and returns a uniform
+// Answer with speech text, latency, and match metadata.
+//
+// The Answerer is stateless and safe for concurrent use; it serves from a
+// frozen engine.Store, so any number of goroutines — REPL readers, batch
+// workers, HTTP handlers — can answer in parallel without locks. Per-user
+// conversational state (the "repeat" request) lives in Session.
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"cicero/internal/engine"
+	"cicero/internal/relation"
+	"cicero/internal/voice"
+)
+
+// Kind identifies how an answer was produced.
+type Kind int
+
+const (
+	// Summary answers come from the pre-generated speech store.
+	Summary Kind = iota
+	// Extremum answers are run-time aggregations over the relation.
+	Extremum
+	// Comparison answers contrast two data subsets at run time.
+	Comparison
+	// Help answers describe what the system can do.
+	Help
+	// Repeat answers replay the previous output (Session only).
+	Repeat
+	// Unsupported marks recognized but unanswerable requests.
+	Unsupported
+	// Unknown marks requests that were not understood at all.
+	Unknown
+)
+
+// String names the answer kind for logs and metrics.
+func (k Kind) String() string {
+	switch k {
+	case Summary:
+		return "summary"
+	case Extremum:
+		return "extremum"
+	case Comparison:
+		return "comparison"
+	case Help:
+		return "help"
+	case Repeat:
+		return "repeat"
+	case Unsupported:
+		return "unsupported"
+	default:
+		return "unknown"
+	}
+}
+
+// Answer is the uniform serving result for one request.
+type Answer struct {
+	// Kind says which backend produced the answer.
+	Kind Kind
+	// Request is the front-end classification of the raw text.
+	Request voice.RequestType
+	// Text is the speech to say. It is always non-empty: unsupported and
+	// not-understood requests carry an apologetic fallback.
+	Text string
+	// Answered reports whether Text carries real content rather than a
+	// fallback apology.
+	Answered bool
+	// Latency is the end-to-end serving time, classification included.
+	Latency time.Duration
+	// Query is the extracted structured query, when one was recognized.
+	Query engine.Query
+	// Matched is the stored speech a summary answer was served from.
+	Matched *engine.StoredSpeech
+	// Exact reports whether a summary answer matched the query's own data
+	// subset rather than a containing generalization.
+	Exact bool
+}
+
+// Options tunes an Answerer.
+type Options struct {
+	// MinExtremumRows is the minimal group size for extremum answers
+	// (default 10), so tiny groups cannot win by noise.
+	MinExtremumRows int
+}
+
+// Answerer is the serving front door. Create one per (relation, store)
+// pair with New and share it freely across goroutines.
+type Answerer struct {
+	rel   *relation.Relation
+	store *engine.Store
+	ex    *voice.Extractor
+	opts  Options
+	help  string
+}
+
+// New builds an Answerer. The store is frozen as a side effect: serving
+// and mutation do not mix.
+func New(rel *relation.Relation, store *engine.Store, ex *voice.Extractor, opts Options) *Answerer {
+	if opts.MinExtremumRows <= 0 {
+		opts.MinExtremumRows = 10
+	}
+	return &Answerer{
+		rel:   rel,
+		store: store.Freeze(),
+		ex:    ex,
+		opts:  opts,
+		help: fmt.Sprintf("You can ask about %s, restricted by %s.",
+			strings.Join(rel.Schema().Targets, ", "),
+			strings.Join(rel.Schema().Dimensions, ", ")),
+	}
+}
+
+// Answer classifies one voice request and routes it to the right backend.
+func (a *Answerer) Answer(text string) Answer {
+	start := time.Now()
+	ans := a.route(voice.Classify(text, a.ex), text)
+	ans.Latency = time.Since(start)
+	return ans
+}
+
+// AnswerQuery serves an already-structured summary query directly from
+// the speech store, bypassing text classification.
+func (a *Answerer) AnswerQuery(q engine.Query) Answer {
+	start := time.Now()
+	ans := a.answerSummary(q)
+	ans.Request = voice.SQuery
+	ans.Latency = time.Since(start)
+	return ans
+}
+
+// route dispatches one classified request.
+func (a *Answerer) route(c voice.Classification, text string) Answer {
+	switch c.Type {
+	case voice.Help:
+		return Answer{Kind: Help, Request: c.Type, Text: a.help, Answered: true}
+	case voice.Repeat:
+		// The Answerer holds no conversational state; Session overlays
+		// the previous output.
+		return Answer{Kind: Repeat, Request: c.Type,
+			Text: "I have not said anything yet."}
+	case voice.SQuery:
+		ans := a.answerSummary(c.Query)
+		ans.Request = c.Type
+		return ans
+	case voice.UQuery:
+		ans := a.answerUnsupported(c, text)
+		ans.Request = c.Type
+		return ans
+	default:
+		return Answer{Kind: Unknown, Request: c.Type,
+			Text: "Sorry, I did not understand. Say \"help\" for what I know."}
+	}
+}
+
+// answerSummary serves a supported query from the indexed speech store.
+func (a *Answerer) answerSummary(q engine.Query) Answer {
+	sp, exact, ok := a.store.Match(q)
+	if !ok {
+		text := "I have no answer for that data subset."
+		if !a.store.HasTarget(q.Target) {
+			text = fmt.Sprintf("I have no answers about %s.",
+				strings.ReplaceAll(q.Target, "_", " "))
+		}
+		return Answer{Kind: Unsupported, Text: text, Query: q}
+	}
+	return Answer{
+		Kind: Summary, Text: sp.Text, Answered: true,
+		Query: q, Matched: sp, Exact: exact,
+	}
+}
+
+// answerUnsupported handles the dominant unsupported query types of the
+// deployment logs (Section VIII-D) — extrema and comparisons — by cheap
+// run-time aggregation, and apologizes for the rest.
+func (a *Answerer) answerUnsupported(c voice.Classification, text string) Answer {
+	if c.Query.Target != "" {
+		switch c.Kind {
+		case voice.Extremum:
+			if ans, ok := a.answerExtremum(c, text); ok {
+				return ans
+			}
+		case voice.Comparison:
+			if ans, ok := a.answerComparison(c, text); ok {
+				return ans
+			}
+		case voice.Retrieval:
+			// A retrieval with more predicates than the store supports is
+			// exactly what the most-specific-match rule of Section III is
+			// for: serve the speech of the closest containing subset.
+			if ans := a.answerSummary(c.Query); ans.Answered {
+				return ans
+			}
+		}
+	}
+	return Answer{
+		Kind:  Unsupported,
+		Query: c.Query,
+		Text: fmt.Sprintf("Sorry, %s queries are not supported; "+
+			"try asking for average values of a data subset.", c.Kind),
+	}
+}
+
+// extremumKind infers the requested direction from the utterance.
+func extremumKind(text string) engine.ExtremumKind {
+	norm := voice.Normalize(text)
+	for _, w := range []string{"lowest", "least", "minimum", "min", "fewest"} {
+		if strings.Contains(norm, w) {
+			return engine.Min
+		}
+	}
+	return engine.Max
+}
+
+func (a *Answerer) answerExtremum(c voice.Classification, text string) (Answer, bool) {
+	dim, ok := a.ex.ExtractDimension(text)
+	if !ok {
+		return Answer{}, false
+	}
+	_, preds, err := c.Query.Resolve(a.rel)
+	if err != nil {
+		return Answer{}, false
+	}
+	kind := extremumKind(text)
+	res, err := engine.AnswerExtremum(a.rel, c.Query.Target, dim, preds, kind, a.opts.MinExtremumRows)
+	if err != nil {
+		return Answer{}, false
+	}
+	return Answer{
+		Kind: Extremum, Text: res.Text(kind, c.Query.Target),
+		Answered: true, Query: c.Query,
+	}, true
+}
+
+func (a *Answerer) answerComparison(c voice.Classification, text string) (Answer, bool) {
+	vals := a.ex.ExtractValues(text)
+	if len(vals) < 2 {
+		return Answer{}, false
+	}
+	va, vb := vals[0], vals[1]
+	pa, err := a.rel.PredicateByName(va.Column, va.Value)
+	if err != nil {
+		return Answer{}, false
+	}
+	pb, err := a.rel.PredicateByName(vb.Column, vb.Value)
+	if err != nil {
+		return Answer{}, false
+	}
+	res, err := engine.AnswerComparison(a.rel, c.Query.Target,
+		[]relation.Predicate{pa}, []relation.Predicate{pb})
+	if err != nil {
+		return Answer{}, false
+	}
+	return Answer{
+		Kind: Comparison, Text: res.Text(c.Query.Target, va.Value, vb.Value),
+		Answered: true, Query: c.Query,
+	}, true
+}
+
+// Session wraps an Answerer with per-user conversational state, namely
+// the previous output for "repeat" requests. Sessions are cheap; create
+// one per user or connection. A Session is safe for concurrent use,
+// though interleaving requests makes "repeat" race conversationally.
+type Session struct {
+	a    *Answerer
+	mu   sync.Mutex
+	last string
+}
+
+// NewSession opens a conversation against the Answerer.
+func (a *Answerer) NewSession() *Session { return &Session{a: a} }
+
+// Answer serves one request, replaying the previous answer for repeat
+// requests and remembering answered content for the next repeat.
+func (s *Session) Answer(text string) Answer {
+	ans := s.a.Answer(text)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ans.Kind == Repeat {
+		if s.last != "" {
+			ans.Text = s.last
+			ans.Answered = true
+		}
+		return ans
+	}
+	if ans.Answered && ans.Kind != Help {
+		s.last = ans.Text
+	}
+	return ans
+}
