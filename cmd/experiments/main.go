@@ -27,6 +27,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed for data and studies")
 		sample  = flag.Int("sample", 24, "queries sampled per scenario (figures 3/4); 0 = all")
 		timeout = flag.Duration("timeout", 2*time.Second, "exact-algorithm timeout per problem")
+		workers = flag.Int("workers", 1, "parallel solvers in the pre-processing pipeline")
 	)
 	flag.Parse()
 
@@ -34,6 +35,7 @@ func main() {
 	params.Seed = *seed
 	params.SampleQueries = *sample
 	params.ExactTimeout = *timeout
+	params.Workers = *workers
 
 	if err := run(os.Stdout, *exp, *seed, params); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

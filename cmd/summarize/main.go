@@ -1,22 +1,30 @@
 // Command summarize runs the pre-processing batch of the voice querying
-// system: it generates speech answers for every supported query of a data
-// set and prints them (or a sample) together with batch statistics.
+// system through the streaming pipeline: it generates speech answers for
+// every supported query of a data set and prints them (or a sample)
+// together with batch and per-stage statistics. The batch is
+// interruptible (ctrl-C) and, with a checkpoint file, resumable from the
+// last completed problem.
 //
 // Usage:
 //
-//	summarize -data flights [-alg G-O] [-maxlen 2] [-facts 3] [-show 5]
-//	summarize -csv data.csv -config config.json [-alg E]
+//	summarize -data flights [-solver G-O] [-maxlen 2] [-facts 3] [-show 5]
+//	summarize -csv data.csv -config config.json [-solver E]
+//	summarize -data acs -checkpoint acs.ckpt            # first attempt
+//	summarize -data acs -checkpoint acs.ckpt -resume    # after a ctrl-C
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"cicero/internal/dataset"
 	"cicero/internal/engine"
+	"cicero/internal/pipeline"
 	"cicero/internal/relation"
 	"cicero/internal/summarize"
 )
@@ -26,13 +34,16 @@ func main() {
 		dataName   = flag.String("data", "flights", "built-in data set: acs, stackoverflow, flights, primaries")
 		csvPath    = flag.String("csv", "", "CSV file to summarize instead of a built-in data set")
 		configPath = flag.String("config", "", "JSON configuration file (required with -csv)")
-		alg        = flag.String("alg", "G-O", "algorithm: E, G-B, G-P, G-O")
+		solver     = flag.String("solver", "", "registered solver: "+strings.Join(pipeline.Solvers(), ", "))
+		alg        = flag.String("alg", "", "deprecated alias for -solver")
 		maxLen     = flag.Int("maxlen", 2, "maximal query length (predicates)")
 		maxFacts   = flag.Int("facts", 3, "facts per speech")
 		show       = flag.Int("show", 5, "number of sample speeches to print")
 		seed       = flag.Int64("seed", 1, "data generation seed")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-problem timeout for the exact algorithm")
 		workers    = flag.Int("workers", 1, "parallel problem solvers")
+		checkpoint = flag.String("checkpoint", "", "checkpoint file: record completed problems for crash/cancel recovery")
+		resume     = flag.Bool("resume", false, "resume from an existing checkpoint instead of refusing to reuse it")
 		out        = flag.String("out", "", "write the speech store to this JSON file")
 	)
 	flag.Parse()
@@ -46,35 +57,83 @@ func main() {
 		cfg.MaxQueryLen = *maxLen
 		cfg.MaxFacts = *maxFacts
 	}
+	solverName := *solver
+	if solverName == "" {
+		solverName = *alg
+	}
+	if solverName == "" {
+		solverName = string(engine.AlgGreedyOpt)
+	}
 
-	s := &engine.Summarizer{
-		Rel:     rel,
-		Config:  cfg,
-		Alg:     engine.Algorithm(*alg),
-		Opts:    summarize.Options{Timeout: *timeout},
+	// ctrl-C cancels the batch; the pipeline returns within one
+	// problem's solve time and the checkpoint keeps completed problems.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := pipeline.Options{
+		Solver:  solverName,
 		Workers: *workers,
-		Progress: func(done, total int) {
-			if done%500 == 0 || done == total {
-				fmt.Fprintf(os.Stderr, "\rpre-processing %d/%d", done, total)
+		Solve:   summarize.Options{Timeout: *timeout},
+		Progress: func(p pipeline.Progress) {
+			if p.Done%500 == 0 || p.Done == p.Total {
+				fmt.Fprintf(os.Stderr, "\rpre-processing %d/%d (failed %d, resumed %d)",
+					p.Done, p.Total, p.Failed, p.Skipped)
 			}
 		},
 	}
-	store, stats, err := s.Preprocess()
+	var ckpt *pipeline.Checkpoint
+	if *checkpoint != "" {
+		if _, err := os.Stat(*checkpoint); err == nil && !*resume {
+			fmt.Fprintf(os.Stderr, "summarize: checkpoint %s exists; pass -resume to continue it or remove it first\n", *checkpoint)
+			os.Exit(1)
+		}
+		ckpt, err = pipeline.OpenCheckpoint(*checkpoint, rel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "summarize:", err)
+			os.Exit(1)
+		}
+		if n := ckpt.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d problems already completed\n", n)
+		}
+		opts.Checkpoint = ckpt
+	}
+
+	store, stats, err := pipeline.Run(ctx, rel, cfg, opts)
 	fmt.Fprintln(os.Stderr)
 	if err != nil {
+		if ctx.Err() != nil && ckpt != nil {
+			ckpt.Close()
+			fmt.Fprintf(os.Stderr, "summarize: interrupted after %d problems; rerun with -resume to continue\n", stats.Problems)
+			os.Exit(130)
+		}
+		if ckpt != nil {
+			ckpt.Close()
+		}
 		fmt.Fprintln(os.Stderr, "summarize:", err)
 		os.Exit(1)
+	}
+	if ckpt != nil {
+		// The batch completed: nothing left to resume.
+		if err := ckpt.Remove(); err != nil {
+			fmt.Fprintln(os.Stderr, "summarize: remove checkpoint:", err)
+		}
 	}
 
 	fmt.Printf("data set:        %s (%d rows, %d dims, %d targets)\n",
 		rel.Name(), rel.NumRows(), rel.NumDims(), rel.NumTargets())
-	fmt.Printf("algorithm:       %s\n", *alg)
-	fmt.Printf("speeches:        %d\n", stats.Speeches)
+	fmt.Printf("solver:          %s\n", solverName)
+	fmt.Printf("speeches:        %d (%d resumed)\n", stats.Speeches, stats.Resumed)
 	fmt.Printf("total time:      %v\n", stats.Elapsed.Round(time.Millisecond))
 	fmt.Printf("per query:       %v\n", stats.PerQuery.Round(time.Microsecond))
 	fmt.Printf("avg utility:     %.3f (scaled)\n", stats.AvgScaledUtility())
+	fmt.Printf("stage times:     evaluate %v, solve %v, render %v, sink %v\n",
+		stats.Stages.Evaluate.Round(time.Millisecond), stats.Stages.Solve.Round(time.Millisecond),
+		stats.Stages.Render.Round(time.Millisecond), stats.Stages.Sink.Round(time.Millisecond))
 	if stats.TimedOut > 0 {
 		fmt.Printf("timeouts:        %d problems fell back to greedy\n", stats.TimedOut)
+	}
+	if stats.Failed > 0 {
+		fmt.Printf("failed:          %d problems (first: %v)\n", stats.Failed, stats.FirstErr)
 	}
 
 	if *out != "" {

@@ -18,15 +18,19 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
 	"cicero/internal/dataset"
 	"cicero/internal/engine"
+	"cicero/internal/pipeline"
 	"cicero/internal/serve"
 	"cicero/internal/voice"
 )
@@ -98,8 +102,13 @@ func main() {
 	cfg.MaxQueryLen = *maxLen
 	fmt.Fprintf(os.Stderr, "pre-processing %s ...", rel.Name())
 	start := time.Now()
-	s := &engine.Summarizer{Rel: rel, Config: cfg, Alg: engine.AlgGreedyOpt}
-	store, stats, err := s.Preprocess()
+	// ctrl-C during the batch cancels it promptly instead of hanging.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	store, stats, err := pipeline.Run(ctx, rel, cfg, pipeline.Options{
+		Solver:  string(engine.AlgGreedyOpt),
+		Workers: runtime.GOMAXPROCS(0),
+	})
+	stopSignals()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "\nvoicequery:", err)
 		os.Exit(1)

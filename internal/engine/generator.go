@@ -1,6 +1,9 @@
 package engine
 
 import (
+	"errors"
+	"fmt"
+
 	"cicero/internal/fact"
 	"cicero/internal/relation"
 )
@@ -30,15 +33,37 @@ func (p *Problem) GenerateFacts(maxFactDims int) []fact.Fact {
 	})
 }
 
+// ErrStopEnumeration tells EachProblem to stop early without error.
+var ErrStopEnumeration = fmt.Errorf("engine: stop problem enumeration")
+
 // Problems enumerates every speech summarization problem for the
-// configuration: one per combination of a target column and a set of up
-// to MaxQueryLen equality predicates, considering all value combinations
-// that appear in the data (Section III). Queries whose subsets have fewer
-// than MinSubsetRows rows are skipped. The enumeration order is
-// deterministic.
+// configuration and collects them into a slice; see EachProblem for the
+// enumeration semantics. Prefer EachProblem when the problems are
+// consumed one at a time (the pipeline's generate stage does), which
+// bounds memory by one materialized view instead of all of them.
 func Problems(rel *relation.Relation, cfg Config) ([]Problem, error) {
-	if err := cfg.Validate(rel); err != nil {
+	var problems []Problem
+	err := EachProblem(rel, cfg, func(p Problem) error {
+		problems = append(problems, p)
+		return nil
+	})
+	if err != nil {
 		return nil, err
+	}
+	return problems, nil
+}
+
+// EachProblem streams every speech summarization problem for the
+// configuration to fn: one per combination of a target column and a set
+// of up to MaxQueryLen equality predicates, considering all value
+// combinations that appear in the data (Section III). Queries whose
+// subsets have fewer than MinSubsetRows rows are skipped. The enumeration
+// order is deterministic. A non-nil error from fn stops the enumeration
+// and is returned, except for ErrStopEnumeration which stops it and
+// returns nil.
+func EachProblem(rel *relation.Relation, cfg Config, fn func(Problem) error) error {
+	if err := cfg.Validate(rel); err != nil {
+		return err
 	}
 	dimIdx := make([]int, len(cfg.Dimensions))
 	for i, d := range cfg.Dimensions {
@@ -50,7 +75,6 @@ func Problems(rel *relation.Relation, cfg Config) ([]Problem, error) {
 	}
 	full := rel.FullView()
 
-	var problems []Problem
 	for _, target := range cfg.Targets {
 		ti := rel.Schema().TargetIndex(target)
 		var prior fact.Prior
@@ -89,17 +113,23 @@ func Problems(rel *relation.Relation, cfg Config) ([]Problem, error) {
 				if cfg.Prior == PriorSubsetMean {
 					p = fact.MeanPrior(view, ti)
 				}
-				problems = append(problems, Problem{
+				err := fn(Problem{
 					Query:    Query{Target: target, Predicates: named},
 					View:     view,
 					Target:   ti,
 					FreeDims: free,
 					Prior:    p,
 				})
+				if errors.Is(err, ErrStopEnumeration) {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
 			}
 		}
 	}
-	return problems, nil
+	return nil
 }
 
 // CountProblems returns the number of problems Problems would generate,

@@ -14,19 +14,21 @@ import (
 // component (a voice endpoint) can serve them without redoing the batch.
 // Fact scopes are serialized with column and value names, not dictionary
 // codes, so a store survives re-ingestion of the data with different
-// code assignment.
+// code assignment. The same name-resolved form backs the pipeline's
+// checkpoint files, which append one PersistedSpeech per completed
+// problem.
 
-// persistedFact is the serialized form of one fact.
-type persistedFact struct {
+// PersistedFact is the serialized form of one fact.
+type PersistedFact struct {
 	Columns []string `json:"columns,omitempty"`
 	Values  []string `json:"values,omitempty"`
 	Value   float64  `json:"value"`
 }
 
-// persistedSpeech is the serialized form of one stored speech.
-type persistedSpeech struct {
+// PersistedSpeech is the serialized form of one stored speech.
+type PersistedSpeech struct {
 	Query      Query           `json:"query"`
-	Facts      []persistedFact `json:"facts"`
+	Facts      []PersistedFact `json:"facts"`
 	Utility    float64         `json:"utility"`
 	PriorError float64         `json:"prior_error"`
 	Text       string          `json:"text"`
@@ -36,31 +38,77 @@ type persistedSpeech struct {
 type persistedStore struct {
 	Version  int               `json:"version"`
 	Dataset  string            `json:"dataset"`
-	Speeches []persistedSpeech `json:"speeches"`
+	Speeches []PersistedSpeech `json:"speeches"`
 }
 
 // storeVersion is bumped on incompatible format changes.
 const storeVersion = 1
 
+// Persist converts the speech into its serialized form, resolving scope
+// codes to column and value names through the relation's dictionaries.
+func (sp *StoredSpeech) Persist(rel *relation.Relation) PersistedSpeech {
+	ps := PersistedSpeech{
+		Query:      sp.Query.Canonical(),
+		Utility:    sp.Utility,
+		PriorError: sp.PriorError,
+		Text:       sp.Text,
+	}
+	for _, f := range sp.Facts {
+		pf := PersistedFact{Value: f.Value}
+		for i, d := range f.Scope.Dims {
+			pf.Columns = append(pf.Columns, rel.Schema().Dimensions[d])
+			pf.Values = append(pf.Values, rel.Dim(d).Value(f.Scope.Codes[i]))
+		}
+		ps.Facts = append(ps.Facts, pf)
+	}
+	return ps
+}
+
+// Restore converts the serialized speech back, re-resolving scope names
+// against the relation's current dictionaries. Facts whose columns or
+// values no longer appear in the data are dropped from the speech (the
+// speech text is kept verbatim).
+func (ps PersistedSpeech) Restore(rel *relation.Relation) *StoredSpeech {
+	sp := &StoredSpeech{
+		Query:      ps.Query,
+		Utility:    ps.Utility,
+		PriorError: ps.PriorError,
+		Text:       ps.Text,
+	}
+	for _, pf := range ps.Facts {
+		var dims []int
+		var codes []int32
+		ok := true
+		for i, col := range pf.Columns {
+			d := rel.Schema().DimIndex(col)
+			if d < 0 {
+				ok = false
+				break
+			}
+			code, found := rel.Dim(d).Code(pf.Values[i])
+			if !found {
+				ok = false
+				break
+			}
+			dims = append(dims, d)
+			codes = append(codes, code)
+		}
+		if !ok {
+			continue
+		}
+		sp.Facts = append(sp.Facts, fact.Fact{
+			Scope: fact.NewScope(dims, codes),
+			Value: pf.Value,
+		})
+	}
+	return sp
+}
+
 // Save writes the store as JSON. rel resolves scope codes to names.
 func (s *Store) Save(w io.Writer, rel *relation.Relation) error {
 	out := persistedStore{Version: storeVersion, Dataset: rel.Name()}
 	for _, sp := range s.Speeches() {
-		ps := persistedSpeech{
-			Query:      sp.Query.Canonical(),
-			Utility:    sp.Utility,
-			PriorError: sp.PriorError,
-			Text:       sp.Text,
-		}
-		for _, f := range sp.Facts {
-			pf := persistedFact{Value: f.Value}
-			for i, d := range f.Scope.Dims {
-				pf.Columns = append(pf.Columns, rel.Schema().Dimensions[d])
-				pf.Values = append(pf.Values, rel.Dim(d).Value(f.Scope.Codes[i]))
-			}
-			ps.Facts = append(ps.Facts, pf)
-		}
-		out.Speeches = append(out.Speeches, ps)
+		out.Speeches = append(out.Speeches, sp.Persist(rel))
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
@@ -93,39 +141,7 @@ func LoadStore(r io.Reader, rel *relation.Relation) (*Store, error) {
 	}
 	store := NewStore()
 	for _, ps := range in.Speeches {
-		sp := &StoredSpeech{
-			Query:      ps.Query,
-			Utility:    ps.Utility,
-			PriorError: ps.PriorError,
-			Text:       ps.Text,
-		}
-		for _, pf := range ps.Facts {
-			var dims []int
-			var codes []int32
-			ok := true
-			for i, col := range pf.Columns {
-				d := rel.Schema().DimIndex(col)
-				if d < 0 {
-					ok = false
-					break
-				}
-				code, found := rel.Dim(d).Code(pf.Values[i])
-				if !found {
-					ok = false
-					break
-				}
-				dims = append(dims, d)
-				codes = append(codes, code)
-			}
-			if !ok {
-				continue
-			}
-			sp.Facts = append(sp.Facts, fact.Fact{
-				Scope: fact.NewScope(dims, codes),
-				Value: pf.Value,
-			})
-		}
-		store.Add(sp)
+		store.Add(ps.Restore(rel))
 	}
 	return store.Freeze(), nil
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -30,31 +31,36 @@ func Algorithms() []Algorithm {
 	return []Algorithm{AlgExact, AlgGreedyBase, AlgGreedyPrune, AlgGreedyOpt}
 }
 
-// solve runs the selected algorithm on a prepared evaluator.
-func solve(alg Algorithm, e *summarize.Evaluator, opts summarize.Options) summarize.Summary {
+// Solve runs the selected algorithm on a prepared evaluator. The context
+// bounds the run: its deadline acts like opts.Timeout and cancellation
+// aborts the inner enumeration loops, returning the best speech found so
+// far with Stats.Cancelled set. This is the single solving core shared by
+// the legacy Summarizer and the pipeline's solver registry.
+func Solve(ctx context.Context, alg Algorithm, e *summarize.Evaluator, opts summarize.Options) summarize.Summary {
 	switch alg {
 	case AlgExact:
-		greedy := summarize.Greedy(e, opts)
+		greedy := summarize.GreedyCtx(ctx, e, opts)
 		exactOpts := opts
 		exactOpts.LowerBound = greedy.Utility
-		exact := summarize.Exact(e, exactOpts)
-		// A timed-out exact run may fall below the greedy seed; the
-		// greedy speech is then the best known answer (the paper's runs
-		// with a 48h timeout behave the same way).
+		exact := summarize.ExactCtx(ctx, e, exactOpts)
+		// A timed-out or cancelled exact run may fall below the greedy
+		// seed; the greedy speech is then the best known answer (the
+		// paper's runs with a 48h timeout behave the same way).
 		if exact.Utility < greedy.Utility {
 			greedy.Stats.TimedOut = exact.Stats.TimedOut
+			greedy.Stats.Cancelled = exact.Stats.Cancelled
 			return greedy
 		}
 		return exact
 	case AlgGreedyPrune:
 		opts.Pruning = summarize.PruneNaive
-		return summarize.Greedy(e, opts)
+		return summarize.GreedyCtx(ctx, e, opts)
 	case AlgGreedyOpt:
 		opts.Pruning = summarize.PruneOptimized
-		return summarize.Greedy(e, opts)
+		return summarize.GreedyCtx(ctx, e, opts)
 	default:
 		opts.Pruning = summarize.PruneNone
-		return summarize.Greedy(e, opts)
+		return summarize.GreedyCtx(ctx, e, opts)
 	}
 }
 
@@ -65,6 +71,8 @@ type BatchStats struct {
 	// Speeches is the number of speeches stored (= problems with at
 	// least the minimum subset size).
 	Speeches int
+	// Failed counts problems that returned an error instead of a speech.
+	Failed int
 	// TotalFacts accumulates candidate fact counts across problems.
 	TotalFacts int
 	// Elapsed is the wall-clock pre-processing time.
@@ -88,6 +96,12 @@ func (b BatchStats) AvgScaledUtility() float64 {
 // Summarizer executes pre-processing: it generates all problems for a
 // configuration and solves each with the selected algorithm, storing
 // rendered speeches for run-time lookup.
+//
+// Deprecated: Summarizer is retained as a compatibility wrapper around
+// the shared solving core (Solve). New code should drive the pipeline
+// package, which adds streaming sinks with bounded memory, context
+// cancellation, checkpoint/resume, per-stage metrics, and pluggable
+// solvers behind one registry.
 type Summarizer struct {
 	Rel      *relation.Relation
 	Config   Config
@@ -100,7 +114,9 @@ type Summarizer struct {
 	// sequentially. Problems are independent (each builds its own
 	// evaluator), so the batch parallelizes embarrassingly.
 	Workers int
-	// Progress, if non-nil, receives (solved, total) after every problem.
+	// Progress, if non-nil, receives (done, total) after every problem,
+	// where done counts solved and failed problems alike. Calls are
+	// serialized and done is strictly increasing, also under parallelism.
 	Progress func(done, total int)
 }
 
@@ -114,7 +130,10 @@ func (s *Summarizer) Preprocess() (*Store, BatchStats, error) {
 }
 
 // PreprocessProblems solves an explicit problem list (used by the
-// experiment harness to subsample large workloads).
+// experiment harness to subsample large workloads). A failing problem
+// aborts the batch: the first error is returned (further errors are
+// dropped after counting) and no store is built, so a partial batch can
+// never serve zero-valued speeches.
 func (s *Summarizer) PreprocessProblems(problems []Problem) (*Store, BatchStats, error) {
 	if s.Alg == "" {
 		s.Alg = AlgGreedyOpt
@@ -124,26 +143,43 @@ func (s *Summarizer) PreprocessProblems(problems []Problem) (*Store, BatchStats,
 	opts.MaxFacts = s.Config.MaxFacts
 
 	summaries := make([]summarize.Summary, len(problems))
+	solved := make([]bool, len(problems))
+	var stats BatchStats
+	var firstErr error
 	if s.Workers > 1 {
-		if err := s.solveParallel(problems, summaries, opts); err != nil {
-			return nil, BatchStats{}, err
-		}
+		firstErr = s.solveParallel(problems, summaries, solved, opts, &stats)
 	} else {
 		for i := range problems {
 			sum, err := s.solveProblem(&problems[i], opts)
 			if err != nil {
-				return nil, BatchStats{}, err
+				stats.Failed++
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				summaries[i] = sum
+				solved[i] = true
 			}
-			summaries[i] = sum
 			if s.Progress != nil {
 				s.Progress(i+1, len(problems))
 			}
+			if firstErr != nil {
+				break
+			}
 		}
+	}
+	if firstErr != nil {
+		stats.Elapsed = time.Since(start)
+		return nil, stats, firstErr
 	}
 
 	store := NewStore()
-	var stats BatchStats
 	for i := range problems {
+		if !solved[i] {
+			// Defensive: never store a zero-valued summary for a problem
+			// that produced none.
+			continue
+		}
 		p := &problems[i]
 		sum := summaries[i]
 		stats.Problems++
@@ -170,43 +206,57 @@ func (s *Summarizer) PreprocessProblems(problems []Problem) (*Store, BatchStats,
 	return store.Freeze(), stats, nil
 }
 
-// solveParallel fans problems out over s.Workers goroutines. The first
-// error cancels nothing in flight but is reported after the wave drains
-// (problems are cheap relative to coordination).
-func (s *Summarizer) solveParallel(problems []Problem, summaries []summarize.Summary, opts summarize.Options) error {
-	type job struct{ idx int }
-	jobs := make(chan job)
-	errs := make(chan error, s.Workers)
+// solveParallel fans problems out over s.Workers goroutines. Every
+// problem is drained regardless of failures, the first error is kept and
+// later ones are merely counted — an unbounded number of failing problems
+// can never block a worker (the old error channel was buffered at
+// s.Workers and deadlocked beyond that).
+func (s *Summarizer) solveParallel(problems []Problem, summaries []summarize.Summary, solved []bool, opts summarize.Options, stats *BatchStats) error {
+	jobs := make(chan int)
 	var wg sync.WaitGroup
-	var done int64
+	// mu serializes result accounting and the Progress callback, which
+	// keeps the reported done count strictly increasing.
+	var mu sync.Mutex
+	var failed atomic.Bool
+	var firstErr error
+	done := 0
 	for w := 0; w < s.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				sum, err := s.solveProblem(&problems[j.idx], opts)
+			for idx := range jobs {
+				sum, err := s.solveProblem(&problems[idx], opts)
+				mu.Lock()
 				if err != nil {
-					errs <- err
-					continue
+					stats.Failed++
+					if firstErr == nil {
+						firstErr = err
+					}
+					failed.Store(true)
+				} else {
+					summaries[idx] = sum
+					solved[idx] = true
 				}
-				summaries[j.idx] = sum
+				done++
 				if s.Progress != nil {
-					s.Progress(int(atomic.AddInt64(&done, 1)), len(problems))
+					s.Progress(done, len(problems))
 				}
+				mu.Unlock()
 			}
 		}()
 	}
 	for i := range problems {
-		jobs <- job{idx: i}
+		// The batch aborts on the first error: stop feeding queued
+		// problems (in-flight solves finish and are discarded with the
+		// rest of the wave).
+		if failed.Load() {
+			break
+		}
+		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
-	select {
-	case err := <-errs:
-		return err
-	default:
-		return nil
-	}
+	return firstErr
 }
 
 // solveProblem generates facts for one problem and runs the algorithm.
@@ -216,7 +266,7 @@ func (s *Summarizer) solveProblem(p *Problem, opts summarize.Options) (summarize
 		return summarize.Summary{}, fmt.Errorf("problem %s: no candidate facts", p.Query.Key())
 	}
 	e := summarize.NewEvaluator(p.View, p.Target, facts, p.Prior)
-	return solve(s.Alg, e, opts), nil
+	return Solve(context.Background(), s.Alg, e, opts), nil
 }
 
 // Answer performs a run-time lookup and reports the latency, the metric

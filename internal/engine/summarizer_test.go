@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cicero/internal/dataset"
+	"cicero/internal/relation"
+)
+
+// failingProblems builds n problems whose views are empty, so fact
+// generation yields no candidates and every solve attempt errors.
+func failingProblems(t *testing.T, rel *relation.Relation, n int) []Problem {
+	t.Helper()
+	full := rel.FullView()
+	// Two contradicting predicates on the same dimension match no row.
+	c0, ok0 := rel.Dim(0).Code(rel.Dim(0).Value(0))
+	c1, ok1 := rel.Dim(0).Code(rel.Dim(0).Value(1))
+	if !ok0 || !ok1 {
+		t.Fatal("test relation needs two values on dimension 0")
+	}
+	empty := full.Select([]relation.Predicate{{Dim: 0, Code: c0}, {Dim: 0, Code: c1}})
+	if empty.NumRows() != 0 {
+		t.Fatalf("expected empty view, got %d rows", empty.NumRows())
+	}
+	problems := make([]Problem, n)
+	for i := range problems {
+		problems[i] = Problem{
+			Query:    Query{Target: rel.Schema().Targets[0]},
+			View:     empty,
+			Target:   0,
+			FreeDims: []int{0, 1},
+		}
+	}
+	return problems
+}
+
+// TestParallelFailuresExceedWorkers is the regression test for the
+// error-channel deadlock: the old solveParallel buffered errors at
+// s.Workers, so a batch with more failing problems than workers blocked
+// forever. The fixed version must drain every problem, return the first
+// error, and never build a store of zero-valued speeches.
+func TestParallelFailuresExceedWorkers(t *testing.T) {
+	rel := dataset.Flights(500, 1)
+	cfg := Config{Dataset: rel.Name(), Targets: []string{"delay"},
+		MaxQueryLen: 1, MaxFactDims: 1, MaxFacts: 3}
+	problems := failingProblems(t, rel, 16)
+
+	s := &Summarizer{Rel: rel, Config: cfg, Alg: AlgGreedyOpt, Workers: 2}
+	type result struct {
+		store *Store
+		stats BatchStats
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		store, stats, err := s.PreprocessProblems(problems)
+		done <- result{store, stats, err}
+	}()
+	select {
+	case res := <-done:
+		if res.err == nil {
+			t.Fatal("expected an error from an all-failing batch")
+		}
+		if !strings.Contains(res.err.Error(), "no candidate facts") {
+			t.Errorf("unexpected error: %v", res.err)
+		}
+		if res.store != nil {
+			t.Error("failing batch must not return a store")
+		}
+		// The batch aborts early, so not every problem runs — but every
+		// failure that did run must be counted, without deadlock, no
+		// matter how failures compare to the worker count.
+		if res.stats.Failed < 1 {
+			t.Errorf("Failed = %d, want >= 1", res.stats.Failed)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("PreprocessProblems deadlocked with failures > workers")
+	}
+}
+
+// TestParallelProgressMonotonic checks the Progress contract under
+// parallelism: calls are serialized, done is strictly increasing, failed
+// problems are included, and the final call reports the full total.
+func TestParallelProgressMonotonic(t *testing.T) {
+	rel := dataset.Flights(2000, 1)
+	cfg := Config{Dataset: rel.Name(), Targets: []string{"delay"},
+		Dimensions: []string{"season", "airline"}, MaxQueryLen: 1,
+		MaxFactDims: 2, MaxFacts: 3}
+	problems, err := Problems(rel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var seen []int
+	s := &Summarizer{Rel: rel, Config: cfg, Alg: AlgGreedyOpt, Workers: 4,
+		Progress: func(done, total int) {
+			mu.Lock()
+			seen = append(seen, done)
+			mu.Unlock()
+			if total != len(problems) {
+				t.Errorf("total = %d, want %d", total, len(problems))
+			}
+		}}
+	if _, _, err := s.PreprocessProblems(problems); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(problems) {
+		t.Fatalf("progress calls = %d, want %d", len(seen), len(problems))
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("progress not strictly increasing: call %d reported %d", i, d)
+		}
+	}
+}
+
+// TestParallelProgressIncludesFailures runs a mixed batch where failures
+// cannot starve the progress stream: every problem, failed or solved,
+// bumps the done count exactly once.
+func TestParallelProgressIncludesFailures(t *testing.T) {
+	rel := dataset.Flights(500, 1)
+	cfg := Config{Dataset: rel.Name(), Targets: []string{"delay"},
+		MaxQueryLen: 1, MaxFactDims: 1, MaxFacts: 3}
+	problems := failingProblems(t, rel, 8)
+	var mu sync.Mutex
+	calls := 0
+	s := &Summarizer{Rel: rel, Config: cfg, Alg: AlgGreedyOpt, Workers: 3,
+		Progress: func(done, total int) {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+		}}
+	_, stats, err := s.PreprocessProblems(problems)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// The all-failing batch aborts early; every problem that ran was a
+	// failure and each must have produced exactly one progress call.
+	if stats.Failed < 1 {
+		t.Errorf("Failed = %d, want >= 1", stats.Failed)
+	}
+	if calls != stats.Failed {
+		t.Errorf("progress calls = %d, want %d (failures must be reported)", calls, stats.Failed)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -8,7 +9,7 @@ import (
 	"cicero/internal/baseline"
 	"cicero/internal/dataset"
 	"cicero/internal/engine"
-	"cicero/internal/summarize"
+	"cicero/internal/pipeline"
 	"cicero/internal/voice"
 )
 
@@ -187,9 +188,9 @@ func Figure10(seed int64) (*Figure10Result, error) {
 			MaxQueryLen: 1, MaxFactDims: 2, MaxFacts: 3,
 			Prior: engine.PriorGlobalMean,
 		}
-		summ := &engine.Summarizer{Rel: dep.Rel, Config: cfg, Alg: engine.AlgGreedyOpt,
-			Opts: summarize.Options{}}
-		store, stats, err := summ.Preprocess()
+		store, stats, err := pipeline.Run(context.Background(), dep.Rel, cfg, pipeline.Options{
+			Solver: string(engine.AlgGreedyOpt),
+		})
 		if err != nil {
 			return nil, err
 		}

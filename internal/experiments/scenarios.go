@@ -5,12 +5,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"cicero/internal/dataset"
 	"cicero/internal/engine"
+	"cicero/internal/pipeline"
 	"cicero/internal/relation"
 	"cicero/internal/summarize"
 )
@@ -52,6 +54,9 @@ type ScenarioParams struct {
 	ExactTimeout time.Duration
 	// MaxQueryLen, MaxFactDims, MaxFacts mirror the configuration file.
 	MaxQueryLen, MaxFactDims, MaxFacts int
+	// Workers bounds concurrent problem solving in the pre-processing
+	// pipeline (0 or 1 = sequential).
+	Workers int
 }
 
 // DefaultScenarioParams returns the scaled-down default setting.
@@ -148,11 +153,11 @@ func Figure3(params ScenarioParams) (*Figure3Result, error) {
 				MaxQueryLen: params.MaxQueryLen, MaxFactDims: params.MaxFactDims,
 				MaxFacts: params.MaxFacts, Prior: engine.PriorGlobalMean,
 			}
-			s := &engine.Summarizer{
-				Rel: rel, Config: cfg, Alg: alg,
-				Opts: summarize.Options{Timeout: params.ExactTimeout},
-			}
-			_, stats, err := s.PreprocessProblems(problems)
+			_, stats, err := pipeline.RunProblems(context.Background(), rel, cfg, problems, pipeline.Options{
+				Solver:  string(alg),
+				Workers: params.Workers,
+				Solve:   summarize.Options{Timeout: params.ExactTimeout},
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -225,8 +230,9 @@ func Figure4(params ScenarioParams) (*Figure4Result, error) {
 			MaxQueryLen: p.MaxQueryLen, MaxFactDims: p.MaxFactDims,
 			MaxFacts: p.MaxFacts, Prior: engine.PriorGlobalMean,
 		}
-		s := &engine.Summarizer{Rel: rel, Config: cfg, Alg: alg}
-		_, stats, err := s.PreprocessProblems(problems)
+		_, stats, err := pipeline.RunProblems(context.Background(), rel, cfg, problems, pipeline.Options{
+			Solver: string(alg), Workers: p.Workers,
+		})
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,70 @@
+package pipeline
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"cicero/internal/dataset"
+	"cicero/internal/engine"
+	"cicero/internal/relation"
+)
+
+// benchWorkload builds a ~1e3-problem pre-processing workload over the
+// flights relation (two-predicate queries across all six dimensions).
+func benchWorkload(b *testing.B) (*relation.Relation, engine.Config, []engine.Problem) {
+	b.Helper()
+	rel := dataset.Flights(1000, 1)
+	cfg := engine.DefaultConfig(rel)
+	cfg.Targets = []string{"cancelled"}
+	cfg.MaxQueryLen = 2
+	problems, err := engine.Problems(rel, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(problems) > 1000 {
+		problems = problems[:1000]
+	}
+	if len(problems) < 500 {
+		b.Fatalf("workload too small: %d problems", len(problems))
+	}
+	return rel, cfg, problems
+}
+
+// BenchmarkPreprocess compares the streaming pipeline against the legacy
+// batch pre-processor on the same ~1e3-problem workload. The parallel
+// variant is the production shape; the single-worker variant isolates
+// the streaming overhead against the legacy sequential loop.
+func BenchmarkPreprocess(b *testing.B) {
+	rel, cfg, problems := benchWorkload(b)
+	b.Logf("workload: %d problems over %d rows", len(problems), rel.NumRows())
+
+	b.Run("pipeline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _, err := RunProblems(context.Background(), rel, cfg, problems, Options{
+				Solver: "G-O", Workers: runtime.GOMAXPROCS(0),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pipeline-1worker", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _, err := RunProblems(context.Background(), rel, cfg, problems, Options{
+				Solver: "G-O", Workers: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := &engine.Summarizer{Rel: rel, Config: cfg, Alg: engine.AlgGreedyOpt}
+			if _, _, err := s.PreprocessProblems(problems); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,420 @@
+// Package pipeline is the streaming offline half of the voice querying
+// system: it turns a configuration into a populated speech store by
+// running every supported query through five stages —
+//
+//	generate problems → build evaluator → solve → render → sink
+//
+// — with a bounded number of in-flight problems, so memory stays flat no
+// matter how many queries the configuration spans (summaries stream into
+// the store sink instead of accumulating in a slice). The whole run is
+// driven by a context.Context: cancellation propagates into the solver
+// inner loops (summarize.ExactCtx/GreedyCtx), so an interrupted batch
+// returns within one problem's solve time; combined with a Checkpoint it
+// resumes from the last completed problem. Solvers are pluggable behind
+// a registry that unifies the paper's optimizing algorithms (E, G-B,
+// G-P, G-O) with the evaluation's sampling and ML baselines.
+//
+// The legacy engine.Summarizer remains as a deprecated compatibility
+// wrapper over the same solving core (engine.Solve); new code should
+// call Run or RunProblems.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"time"
+
+	"cicero/internal/engine"
+	"cicero/internal/relation"
+	"cicero/internal/summarize"
+)
+
+// Options configures a pipeline run.
+type Options struct {
+	// Solver names the registered solver to use (default "G-O").
+	Solver string
+	// Workers bounds concurrent solve stages (default 1). Problems are
+	// independent, so the solve stage parallelizes embarrassingly; the
+	// sink stays single-threaded and order-independent.
+	Workers int
+	// Solve carries the per-problem algorithm parameters; MaxFacts is
+	// overridden by the configuration.
+	Solve summarize.Options
+	// Template renders fact sets into speech text.
+	Template engine.Template
+	// Checkpoint, if non-nil, records every completed problem and lets
+	// the run skip problems completed by a previous (interrupted) run.
+	Checkpoint *Checkpoint
+	// Progress, if non-nil, receives a snapshot after every finished
+	// problem (solved, failed, or skipped). Calls come from the single
+	// sink goroutine, so counts are monotonically non-decreasing.
+	Progress func(Progress)
+	// ContinueOnError keeps the batch running past failing problems,
+	// reporting them in Stats (Failed, FirstErr). When false (default),
+	// the first failure cancels the run and Run returns the error.
+	ContinueOnError bool
+	// Buffer is the capacity of the inter-stage channels (default
+	// Workers): the memory bound on in-flight problems beyond the ones
+	// being solved.
+	Buffer int
+	// Seed perturbs the per-problem seeds handed to randomized solvers.
+	Seed int64
+}
+
+// Progress is one monotonic progress snapshot.
+type Progress struct {
+	// Done counts problems finished for any reason: solved, failed, or
+	// skipped via checkpoint.
+	Done int
+	// Solved, Failed and Skipped split Done by outcome.
+	Solved, Failed, Skipped int
+	// Total is the number of problems the run spans, or -1 when the
+	// streaming source does not know it upfront. With MinSubsetRows > 0
+	// it is an upper bound: the count skips no subsets, the run does.
+	Total int
+}
+
+// StageTimes accumulates per-stage work time across all problems; with
+// N workers the wall-clock share of a stage is roughly its fraction of
+// the sum. Sink covers store insertion plus checkpoint writes.
+type StageTimes struct {
+	Evaluate time.Duration // candidate-fact generation + evaluator build
+	Solve    time.Duration // solver runtime
+	Render   time.Duration // speech text rendering
+	Sink     time.Duration // store insert + checkpoint append
+}
+
+// Stats summarizes a pipeline run.
+type Stats struct {
+	// Problems counts problems solved by this run (excluding skips).
+	Problems int
+	// Speeches is the size of the returned store, including speeches
+	// seeded from a resumed checkpoint.
+	Speeches int
+	// Failed counts problems that returned an error.
+	Failed int
+	// Resumed counts problems skipped because a checkpoint already held
+	// their speech.
+	Resumed int
+	// TotalFacts accumulates candidate fact counts across solved problems.
+	TotalFacts int
+	// SumScaledUtility accumulates scaled utilities for averaging.
+	SumScaledUtility float64
+	// TimedOut counts problems where the exact algorithm hit its timeout.
+	TimedOut int
+	// Elapsed is the wall-clock time of the run; PerQuery divides it by
+	// the number of problems solved.
+	Elapsed  time.Duration
+	PerQuery time.Duration
+	// Stages breaks accumulated work time down by pipeline stage.
+	Stages StageTimes
+	// FirstErr is the first per-problem error observed (only meaningful
+	// with ContinueOnError, where Run itself returns nil).
+	FirstErr error
+}
+
+// AvgScaledUtility returns the mean scaled utility across solved problems.
+func (s Stats) AvgScaledUtility() float64 {
+	if s.Problems == 0 {
+		return 0
+	}
+	return s.SumScaledUtility / float64(s.Problems)
+}
+
+// Run pre-processes every supported query of the configuration into a
+// frozen speech store, streaming problems from the generator so memory
+// stays bounded by Workers+Buffer in-flight problems. Cancelling ctx
+// stops the run within one problem's solve time and returns ctx's error;
+// completed problems stay recorded in the checkpoint (if any) for a
+// later resume.
+func Run(ctx context.Context, rel *relation.Relation, cfg engine.Config, opts Options) (*engine.Store, Stats, error) {
+	if err := cfg.Validate(rel); err != nil {
+		return nil, Stats{}, err
+	}
+	total := -1
+	if opts.Progress != nil {
+		// The exact problem count requires one cheap enumeration pass
+		// (no views are materialized); only pay for it when someone
+		// watches progress.
+		if n, err := engine.CountProblems(rel, cfg); err == nil {
+			total = n
+		}
+	}
+	source := func(yield func(engine.Problem) error) error {
+		return engine.EachProblem(rel, cfg, yield)
+	}
+	return run(ctx, rel, cfg, source, total, opts)
+}
+
+// RunProblems pre-processes an explicit problem list (the experiment
+// harness subsamples large workloads this way) through the same staged
+// pipeline as Run.
+func RunProblems(ctx context.Context, rel *relation.Relation, cfg engine.Config, problems []engine.Problem, opts Options) (*engine.Store, Stats, error) {
+	if err := cfg.Validate(rel); err != nil {
+		return nil, Stats{}, err
+	}
+	source := func(yield func(engine.Problem) error) error {
+		for i := range problems {
+			if err := yield(problems[i]); err != nil {
+				if errors.Is(err, engine.ErrStopEnumeration) {
+					return nil
+				}
+				return err
+			}
+		}
+		return nil
+	}
+	return run(ctx, rel, cfg, source, len(problems), opts)
+}
+
+// result carries one problem's outcome from a solve worker to the sink.
+type result struct {
+	problem engine.Problem
+	key     string
+	summary summarize.Summary
+	text    string
+	skipped bool
+	err     error
+	// stage timings measured by the worker
+	evalTime, solveTime, renderTime time.Duration
+}
+
+// run wires the stages together: one producer streaming problems, N
+// solve workers, one sink goroutine (the caller) folding results into
+// the store, the checkpoint, and the stats.
+func run(ctx context.Context, rel *relation.Relation, cfg engine.Config, source func(func(engine.Problem) error) error, total int, opts Options) (*engine.Store, Stats, error) {
+	start := time.Now()
+	solverName := opts.Solver
+	if solverName == "" {
+		solverName = string(engine.AlgGreedyOpt)
+	}
+	solver, ok := LookupSolver(solverName)
+	if !ok {
+		return nil, Stats{}, fmt.Errorf("pipeline: unknown solver %q (registered: %v)", solverName, Solvers())
+	}
+	if opts.Checkpoint != nil {
+		// cfg is validated by the callers, so the column lists are fully
+		// resolved and the fingerprint covers the effective run.
+		err := opts.Checkpoint.bind(CheckpointMeta{
+			Dataset:        rel.Name(),
+			Rows:           rel.NumRows(),
+			Solver:         solverName,
+			Targets:        strings.Join(cfg.Targets, ","),
+			Dimensions:     strings.Join(cfg.Dimensions, ","),
+			FactDimensions: strings.Join(cfg.FactDimensions, ","),
+			MaxQueryLen:    cfg.MaxQueryLen,
+			MaxFactDims:    cfg.MaxFactDims,
+			MaxFacts:       cfg.MaxFacts,
+			Prior:          string(cfg.Prior),
+			MinSubsetRows:  cfg.MinSubsetRows,
+			Template:       fmt.Sprintf("%+v", opts.Template),
+		})
+		if err != nil {
+			return nil, Stats{}, err
+		}
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	buffer := opts.Buffer
+	if buffer <= 0 {
+		buffer = workers
+	}
+	baseOpts := opts.Solve
+	baseOpts.MaxFacts = cfg.MaxFacts
+
+	// Internal cancellation lets the sink abort the producer and workers
+	// on a fatal failure without cancelling the caller's ctx.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan engine.Problem, buffer)
+	results := make(chan result, buffer)
+
+	// Stage 1: the producer streams problems from the generator. It
+	// never materializes more than the channel capacity ahead of the
+	// workers — the memory bound of the whole pipeline.
+	var sourceErr error
+	go func() {
+		defer close(jobs)
+		sourceErr = source(func(p engine.Problem) error {
+			select {
+			case jobs <- p:
+				return nil
+			case <-runCtx.Done():
+				return engine.ErrStopEnumeration
+			}
+		})
+	}()
+
+	// Stages 2–4: solve workers build the evaluator, run the solver, and
+	// render the speech text for each problem.
+	workersDone := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { workersDone <- struct{}{} }()
+			for p := range jobs {
+				results <- solveOne(runCtx, rel, cfg, solver, baseOpts, opts, p)
+			}
+		}()
+	}
+	go func() {
+		for w := 0; w < workers; w++ {
+			<-workersDone
+		}
+		close(results)
+	}()
+
+	// Stage 5: the sink — this goroutine — folds results into the store
+	// in arrival order (the store is keyed by query, so order does not
+	// matter), appends the checkpoint, and reports progress.
+	store := engine.NewStore()
+	var stats Stats
+	var fatalErr error
+	if opts.Checkpoint != nil {
+		for _, sp := range opts.Checkpoint.Resumed() {
+			store.Add(sp)
+		}
+	}
+	done := 0
+	report := func() {
+		if opts.Progress != nil {
+			opts.Progress(Progress{Done: done, Solved: stats.Problems,
+				Failed: stats.Failed, Skipped: stats.Resumed, Total: total})
+		}
+	}
+	for res := range results {
+		stats.Stages.Evaluate += res.evalTime
+		stats.Stages.Solve += res.solveTime
+		stats.Stages.Render += res.renderTime
+		switch {
+		case res.skipped:
+			stats.Resumed++
+			done++
+			report()
+		case res.err != nil:
+			if errors.Is(res.err, context.Canceled) || errors.Is(res.err, context.DeadlineExceeded) {
+				// An in-flight solve aborted by cancellation is neither
+				// solved nor failed; its problem re-runs on resume.
+				continue
+			}
+			stats.Failed++
+			if stats.FirstErr == nil {
+				stats.FirstErr = res.err
+			}
+			if !opts.ContinueOnError {
+				cancel()
+			}
+			done++
+			report()
+		case res.summary.Stats.Cancelled:
+			// A solver that swallowed the cancellation and returned its
+			// aborted partial summary with a nil error (easy to write by
+			// wrapping engine.Solve without re-checking ctx) must not
+			// have that near-empty speech stored and checkpointed as
+			// done forever; treat it like a cancelled in-flight solve.
+			continue
+		default:
+			sinkStart := time.Now()
+			sp := &engine.StoredSpeech{
+				Query:      res.problem.Query,
+				Facts:      res.summary.Facts,
+				Utility:    res.summary.Utility,
+				PriorError: res.summary.PriorError,
+				Text:       res.text,
+			}
+			store.Add(sp)
+			if opts.Checkpoint != nil {
+				if err := opts.Checkpoint.Record(res.key, sp); err != nil {
+					// A checkpoint that stops recording is fatal in every
+					// mode: continuing would hand back a store the resume
+					// log no longer covers.
+					if fatalErr == nil {
+						fatalErr = fmt.Errorf("pipeline: checkpoint: %w", err)
+					}
+					cancel()
+				}
+			}
+			stats.Problems++
+			stats.TotalFacts += len(res.summary.Facts)
+			stats.SumScaledUtility += res.summary.ScaledUtility()
+			if res.summary.Stats.TimedOut {
+				stats.TimedOut++
+			}
+			stats.Stages.Sink += time.Since(sinkStart)
+			done++
+			report()
+		}
+	}
+
+	stats.Elapsed = time.Since(start)
+	if stats.Problems > 0 {
+		stats.PerQuery = stats.Elapsed / time.Duration(stats.Problems)
+	}
+	if err := ctx.Err(); err != nil {
+		// The caller cancelled: completed problems live on in the
+		// checkpoint, the partial store is withheld (it is not the
+		// configured coverage).
+		return nil, stats, err
+	}
+	if fatalErr != nil {
+		return nil, stats, fatalErr
+	}
+	if sourceErr != nil {
+		return nil, stats, sourceErr
+	}
+	if stats.FirstErr != nil && !opts.ContinueOnError {
+		return nil, stats, stats.FirstErr
+	}
+	stats.Speeches = store.Len()
+	return store.Freeze(), stats, nil
+}
+
+// solveOne runs stages 2–4 for one problem: evaluator build, solve,
+// render. Skips checkpointed problems outright.
+func solveOne(ctx context.Context, rel *relation.Relation, cfg engine.Config, solver Solver, baseOpts summarize.Options, opts Options, p engine.Problem) result {
+	key := p.Query.Canonical().Key()
+	if opts.Checkpoint != nil && opts.Checkpoint.Done(key) {
+		return result{problem: p, key: key, skipped: true}
+	}
+	if err := ctx.Err(); err != nil {
+		return result{problem: p, key: key, err: err}
+	}
+	t0 := time.Now()
+	facts := p.GenerateFacts(cfg.MaxFactDims)
+	if len(facts) == 0 {
+		return result{problem: p, key: key,
+			err: fmt.Errorf("problem %s: no candidate facts", key), evalTime: time.Since(t0)}
+	}
+	e := summarize.NewEvaluator(p.View, p.Target, facts, p.Prior)
+	t1 := time.Now()
+	sum, err := solver.Solve(ctx, e, SolveOptions{
+		Options:  baseOpts,
+		Query:    p.Query,
+		FreeDims: p.FreeDims,
+		Seed:     problemSeed(opts.Seed, key),
+	})
+	t2 := time.Now()
+	res := result{problem: p, key: key, summary: sum,
+		evalTime: t1.Sub(t0), solveTime: t2.Sub(t1)}
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.text = opts.Template.Render(rel, p.Query, sum.Facts)
+	res.renderTime = time.Since(t2)
+	return res
+}
+
+// problemSeed derives a deterministic per-problem seed from the run seed
+// and the problem's canonical key, so randomized solvers are reproducible
+// independent of worker scheduling.
+func problemSeed(runSeed int64, key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return runSeed ^ int64(h.Sum64())
+}

@@ -1,0 +1,541 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"cicero/internal/baseline"
+	"cicero/internal/dataset"
+	"cicero/internal/engine"
+	"cicero/internal/relation"
+	"cicero/internal/summarize"
+)
+
+func flightsConfig(rel *relation.Relation) engine.Config {
+	cfg := engine.DefaultConfig(rel)
+	cfg.Targets = []string{"cancelled"}
+	cfg.Dimensions = []string{"season", "airline"}
+	cfg.MaxQueryLen = 1
+	return cfg
+}
+
+// TestRunMatchesLegacySummarizer proves the compatibility contract: the
+// streaming pipeline and the legacy batch produce identical stores for a
+// deterministic solver.
+func TestRunMatchesLegacySummarizer(t *testing.T) {
+	rel := dataset.Flights(2000, 1)
+	cfg := flightsConfig(rel)
+	tmpl := engine.Template{TargetPhrase: "cancellation probability", Percent: true}
+
+	legacy := &engine.Summarizer{Rel: rel, Config: cfg, Alg: engine.AlgGreedyOpt, Template: tmpl}
+	wantStore, wantStats, err := legacy.Preprocess()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gotStore, gotStats, err := Run(context.Background(), rel, cfg, Options{
+		Solver: "G-O", Workers: 4, Template: tmpl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotStats.Problems != wantStats.Problems || gotStats.Speeches != wantStats.Speeches {
+		t.Fatalf("stats differ: pipeline %d/%d, legacy %d/%d",
+			gotStats.Problems, gotStats.Speeches, wantStats.Problems, wantStats.Speeches)
+	}
+	if d := gotStats.SumScaledUtility - wantStats.SumScaledUtility; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("utilities differ: %v vs %v", gotStats.SumScaledUtility, wantStats.SumScaledUtility)
+	}
+	want := wantStore.Speeches()
+	got := gotStore.Speeches()
+	if len(got) != len(want) {
+		t.Fatalf("store sizes differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Query.Key() != want[i].Query.Key() || got[i].Text != want[i].Text {
+			t.Fatalf("speech %d differs:\n  pipeline %s: %q\n  legacy   %s: %q",
+				i, got[i].Query.Key(), got[i].Text, want[i].Query.Key(), want[i].Text)
+		}
+	}
+	if !gotStore.Frozen() {
+		t.Error("pipeline store must be frozen")
+	}
+}
+
+// TestSolverRegistryRunsAllFamilies runs the same workload through every
+// built-in solver — the paper's four optimizing algorithms and the
+// sampling baseline — via the registry, plus a trained ML solver.
+func TestSolverRegistryRunsAllFamilies(t *testing.T) {
+	rel := dataset.Flights(1500, 1)
+	cfg := flightsConfig(rel)
+
+	for _, name := range []string{"E", "G-B", "G-P", "G-O", SamplingSolverName} {
+		if _, ok := LookupSolver(name); !ok {
+			t.Fatalf("solver %q not registered (have %v)", name, Solvers())
+		}
+		store, stats, err := Run(context.Background(), rel, cfg, Options{
+			Solver: name, Workers: 2,
+			Solve: summarize.Options{Timeout: 2 * time.Second},
+		})
+		if err != nil {
+			t.Fatalf("solver %s: %v", name, err)
+		}
+		if store.Len() == 0 || stats.Problems == 0 {
+			t.Fatalf("solver %s produced an empty store", name)
+		}
+		if name != SamplingSolverName && stats.AvgScaledUtility() <= 0 {
+			t.Errorf("solver %s: avg scaled utility %v", name, stats.AvgScaledUtility())
+		}
+	}
+
+	// The ML baseline needs training pairs; train it on the G-O output
+	// and register it like any other solver.
+	goStore, _, err := Run(context.Background(), rel, cfg, Options{Solver: "G-O"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := baseline.NewMLSummarizer(rel)
+	var pairs []baseline.MLPair
+	for _, sp := range goStore.Speeches() {
+		pairs = append(pairs, baseline.MLPair{Query: sp.Query, Facts: sp.Facts})
+	}
+	ml.Train(pairs)
+	Register(NewMLSolver(ml))
+	store, stats, err := Run(context.Background(), rel, cfg, Options{Solver: "ml", Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() == 0 || stats.Problems == 0 {
+		t.Fatal("ml solver produced an empty store")
+	}
+}
+
+// failingSolver errors on every problem whose query has predicates,
+// succeeding only on the overall query.
+type failingSolver struct{ fail func(q engine.Query) bool }
+
+func (s failingSolver) Name() string { return "failing-test-solver" }
+func (s failingSolver) Solve(ctx context.Context, e *summarize.Evaluator, opts SolveOptions) (summarize.Summary, error) {
+	if s.fail(opts.Query) {
+		return summarize.Summary{}, fmt.Errorf("induced failure for %s", opts.Query.Key())
+	}
+	return engine.Solve(ctx, engine.AlgGreedyOpt, e, opts.Options), nil
+}
+
+// TestFailuresExceedWorkersNoDeadlock is the pipeline half of the
+// deadlock regression: far more failing problems than workers must
+// neither block nor leak, in both error modes.
+func TestFailuresExceedWorkersNoDeadlock(t *testing.T) {
+	rel := dataset.Flights(1500, 1)
+	cfg := flightsConfig(rel)
+	Register(failingSolver{fail: func(q engine.Query) bool { return len(q.Predicates) > 0 }})
+
+	type outcome struct {
+		store *engine.Store
+		stats Stats
+		err   error
+	}
+	runMode := func(continueOnError bool) outcome {
+		ch := make(chan outcome, 1)
+		go func() {
+			store, stats, err := Run(context.Background(), rel, cfg, Options{
+				Solver: "failing-test-solver", Workers: 2, ContinueOnError: continueOnError,
+			})
+			ch <- outcome{store, stats, err}
+		}()
+		select {
+		case o := <-ch:
+			return o
+		case <-time.After(60 * time.Second):
+			t.Fatalf("pipeline deadlocked (continueOnError=%v)", continueOnError)
+			return outcome{}
+		}
+	}
+
+	// Fail-fast: the first error surfaces and cancels the batch.
+	o := runMode(false)
+	if o.err == nil {
+		t.Fatal("fail-fast run must return an error")
+	}
+	if o.store != nil {
+		t.Error("fail-fast run must not return a store")
+	}
+
+	// Continue: every failure is counted, only clean speeches stored.
+	o = runMode(true)
+	if o.err != nil {
+		t.Fatalf("continue run errored: %v", o.err)
+	}
+	if o.stats.Failed == 0 || o.stats.FirstErr == nil {
+		t.Fatalf("continue run must count failures, got %+v", o.stats)
+	}
+	if o.stats.Failed <= 2 {
+		t.Errorf("want failures > workers, got %d", o.stats.Failed)
+	}
+	if o.store.Len() != o.stats.Problems {
+		t.Errorf("store holds %d speeches for %d solved problems", o.store.Len(), o.stats.Problems)
+	}
+	for _, sp := range o.store.Speeches() {
+		if len(sp.Facts) == 0 && sp.Utility == 0 && sp.Text == "" {
+			t.Errorf("zero-valued speech stored for %s", sp.Query.Key())
+		}
+	}
+}
+
+// slowSolver delays each solve so a mid-batch cancel reliably lands
+// while problems are in flight.
+type slowSolver struct{ delay time.Duration }
+
+func (s slowSolver) Name() string { return "slow-test-solver" }
+func (s slowSolver) Solve(ctx context.Context, e *summarize.Evaluator, opts SolveOptions) (summarize.Summary, error) {
+	select {
+	case <-time.After(s.delay):
+	case <-ctx.Done():
+		return summarize.Summary{}, ctx.Err()
+	}
+	return engine.Solve(ctx, engine.AlgGreedyOpt, e, opts.Options), nil
+}
+
+// TestCancelLeavesResumableCheckpoint is the acceptance scenario: cancel
+// a batch mid-flight, then resume it from the checkpoint and end with
+// exactly the store an uninterrupted run produces.
+func TestCancelLeavesResumableCheckpoint(t *testing.T) {
+	rel := dataset.Flights(2000, 1)
+	cfg := flightsConfig(rel)
+	tmpl := engine.Template{TargetPhrase: "cancellation probability", Percent: true}
+	path := filepath.Join(t.TempDir(), "preprocess.ckpt")
+
+	full, _, err := Run(context.Background(), rel, cfg, Options{Solver: "G-O", Template: tmpl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalProblems := full.Len()
+	if totalProblems < 6 {
+		t.Fatalf("workload too small for a meaningful cancel test: %d problems", totalProblems)
+	}
+
+	Register(slowSolver{delay: 30 * time.Millisecond})
+	ckpt, err := OpenCheckpoint(path, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	store, stats, err := Run(ctx, rel, cfg, Options{
+		Solver: "slow-test-solver", Workers: 2, Template: tmpl, Checkpoint: ckpt,
+		Progress: func(p Progress) {
+			if p.Solved >= 3 {
+				once.Do(cancel)
+			}
+		},
+	})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if store != nil {
+		t.Error("cancelled run must not return a store")
+	}
+	if stats.Problems == 0 {
+		t.Fatal("cancel landed before any problem completed; test needs a slower solver")
+	}
+	if stats.Problems >= totalProblems {
+		t.Fatalf("cancel landed after the whole batch (%d problems) completed", totalProblems)
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume with a fresh checkpoint handle and the same solver (the
+	// provenance guard refuses anything else): recorded problems are
+	// skipped, the rest solved, and the final store matches the
+	// uninterrupted run exactly.
+	ckpt2, err := OpenCheckpoint(path, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt2.Close()
+	if ckpt2.Len() != stats.Problems {
+		t.Fatalf("checkpoint holds %d records, cancelled run completed %d", ckpt2.Len(), stats.Problems)
+	}
+	store2, stats2, err := Run(context.Background(), rel, cfg, Options{
+		Solver: "slow-test-solver", Workers: 2, Template: tmpl, Checkpoint: ckpt2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Resumed != stats.Problems {
+		t.Errorf("resumed %d problems, want %d skipped via checkpoint", stats2.Resumed, stats.Problems)
+	}
+	if stats2.Problems != totalProblems-stats.Problems {
+		t.Errorf("resume solved %d problems, want %d", stats2.Problems, totalProblems-stats.Problems)
+	}
+	want := full.Speeches()
+	got := store2.Speeches()
+	if len(got) != len(want) {
+		t.Fatalf("resumed store has %d speeches, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Query.Key() != want[i].Query.Key() || got[i].Text != want[i].Text {
+			t.Fatalf("resumed speech %d differs: %q vs %q", i, got[i].Text, want[i].Text)
+		}
+	}
+}
+
+// TestCancelReturnsPromptly bounds the acceptance latency: cancelling a
+// batch of slow problems must return within roughly one problem's solve
+// time, not after the remaining batch.
+func TestCancelReturnsPromptly(t *testing.T) {
+	rel := dataset.Flights(2000, 1)
+	cfg := flightsConfig(rel)
+	solveTime := 50 * time.Millisecond
+	Register(slowSolver{delay: solveTime})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var startOnce sync.Once
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, _, err := Run(ctx, rel, cfg, Options{
+			Solver: "slow-test-solver", Workers: 2,
+			Progress: func(p Progress) { startOnce.Do(func() { close(started) }) },
+		})
+		done <- err
+	}()
+	<-started
+	cancelAt := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v", err)
+		}
+		if lat := time.Since(cancelAt); lat > 10*solveTime {
+			t.Errorf("cancel latency %v exceeds ~one problem's solve time (%v)", lat, solveTime)
+		}
+		_ = start
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+}
+
+// TestProgressMonotonic verifies the pipeline's progress contract under
+// parallelism: done counts never decrease and end at the full total.
+func TestProgressMonotonic(t *testing.T) {
+	rel := dataset.Flights(2000, 1)
+	cfg := flightsConfig(rel)
+	var snaps []Progress
+	_, stats, err := Run(context.Background(), rel, cfg, Options{
+		Solver: "G-O", Workers: 4,
+		Progress: func(p Progress) { snaps = append(snaps, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != stats.Problems {
+		t.Fatalf("progress calls = %d, want %d", len(snaps), stats.Problems)
+	}
+	for i, p := range snaps {
+		if p.Done != i+1 {
+			t.Fatalf("snapshot %d: done = %d, not monotone", i, p.Done)
+		}
+		if p.Total >= 0 && p.Done > p.Total {
+			t.Fatalf("snapshot %d: done %d exceeds total %d", i, p.Done, p.Total)
+		}
+		if p.Done != p.Solved+p.Failed+p.Skipped {
+			t.Fatalf("snapshot %d: done %d != solved+failed+skipped", i, p.Done)
+		}
+	}
+	if last := snaps[len(snaps)-1]; last.Total != last.Done {
+		t.Errorf("final snapshot %+v does not cover the total", last)
+	}
+}
+
+// TestStageMetricsAccumulate sanity-checks the per-stage breakdown.
+func TestStageMetricsAccumulate(t *testing.T) {
+	rel := dataset.Flights(1500, 1)
+	cfg := flightsConfig(rel)
+	_, stats, err := Run(context.Background(), rel, cfg, Options{Solver: "G-O", Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stages.Evaluate <= 0 || stats.Stages.Solve <= 0 {
+		t.Errorf("stage times not accumulated: %+v", stats.Stages)
+	}
+}
+
+// TestCheckpointRoundTrip unit-tests the record format, including the
+// crash signature of a torn trailing line.
+func TestCheckpointRoundTrip(t *testing.T) {
+	rel := dataset.Flights(1000, 1)
+	cfg := flightsConfig(rel)
+	tmpl := engine.Template{Percent: true}
+	store, _, err := Run(context.Background(), rel, cfg, Options{Solver: "G-O", Template: tmpl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rt.ckpt")
+	ckpt, err := OpenCheckpoint(path, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeches := store.Speeches()
+	for _, sp := range speeches {
+		if err := ckpt.Record(sp.Query.Key(), sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := OpenCheckpoint(path, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Len() != len(speeches) {
+		t.Fatalf("reloaded %d records, want %d", back.Len(), len(speeches))
+	}
+	for _, sp := range speeches {
+		if !back.Done(sp.Query.Key()) {
+			t.Errorf("key %s not marked done after reload", sp.Query.Key())
+		}
+	}
+	restored := back.Resumed()
+	if len(restored) != len(speeches) {
+		t.Fatalf("resumed %d speeches, want %d", len(restored), len(speeches))
+	}
+	for i, sp := range restored {
+		if sp.Text != speeches[i].Text || len(sp.Facts) != len(speeches[i].Facts) {
+			t.Errorf("speech %d did not round-trip", i)
+		}
+	}
+}
+
+// TestCheckpointRejectsMismatchedRun guards speech provenance: a
+// checkpoint written by one (dataset, solver, query-shape) run must not
+// seed a run with different flags.
+func TestCheckpointRejectsMismatchedRun(t *testing.T) {
+	rel := dataset.Flights(1000, 1)
+	cfg := flightsConfig(rel)
+	path := filepath.Join(t.TempDir(), "mix.ckpt")
+	ckpt, err := OpenCheckpoint(path, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(context.Background(), rel, cfg, Options{
+		Solver: "G-O", Checkpoint: ckpt,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ckpt.Close()
+
+	reopen := func() *Checkpoint {
+		c, err := OpenCheckpoint(path, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	// Different solver: refused.
+	c2 := reopen()
+	if _, _, err := Run(context.Background(), rel, cfg, Options{
+		Solver: SamplingSolverName, Checkpoint: c2,
+	}); err == nil {
+		t.Error("resume with a different solver must be refused")
+	}
+	c2.Close()
+	// Different query shape: refused.
+	c3 := reopen()
+	cfg2 := cfg
+	cfg2.MaxQueryLen = 2
+	if _, _, err := Run(context.Background(), rel, cfg2, Options{
+		Solver: "G-O", Checkpoint: c3,
+	}); err == nil {
+		t.Error("resume with a different query shape must be refused")
+	}
+	c3.Close()
+	// Same run: accepted, everything resumed.
+	c4 := reopen()
+	defer c4.Close()
+	_, stats, err := Run(context.Background(), rel, cfg, Options{
+		Solver: "G-O", Checkpoint: c4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Problems != 0 || stats.Resumed == 0 {
+		t.Errorf("full resume expected, got solved %d resumed %d", stats.Problems, stats.Resumed)
+	}
+}
+
+// TestCheckpointIgnoresTornTail simulates a crash mid-write: a trailing
+// partial line must be dropped, not fail the load.
+func TestCheckpointIgnoresTornTail(t *testing.T) {
+	rel := dataset.Flights(1000, 1)
+	cfg := flightsConfig(rel)
+	store, _, err := Run(context.Background(), rel, cfg, Options{Solver: "G-O"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeches := store.Speeches()
+	if len(speeches) < 2 {
+		t.Fatal("need at least two speeches")
+	}
+	path := filepath.Join(t.TempDir(), "torn.ckpt")
+	ckpt, err := OpenCheckpoint(path, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Record(speeches[0].Query.Key(), speeches[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append a torn half-record with no trailing newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"torn","speech":{"quer`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenCheckpoint(path, rel)
+	if err != nil {
+		t.Fatalf("torn tail must not fail the load: %v", err)
+	}
+	if back.Len() != 1 {
+		t.Errorf("loaded %d records, want 1 (torn tail dropped)", back.Len())
+	}
+	if back.Done("torn") {
+		t.Error("torn record must not count as done")
+	}
+	// The torn bytes must also be cut from disk: a record appended after
+	// the recovery must not glue onto them and corrupt the file.
+	if err := back.Record(speeches[1].Query.Key(), speeches[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Close(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := OpenCheckpoint(path, rel)
+	if err != nil {
+		t.Fatalf("append after torn-tail recovery corrupted the file: %v", err)
+	}
+	defer again.Close()
+	if again.Len() != 2 {
+		t.Errorf("loaded %d records after recovery+append, want 2", again.Len())
+	}
+}

@@ -7,14 +7,21 @@
 //
 // The Answerer is stateless and safe for concurrent use; it serves from a
 // frozen engine.Store, so any number of goroutines — REPL readers, batch
-// workers, HTTP handlers — can answer in parallel without locks. Per-user
-// conversational state (the "repeat" request) lives in Session.
+// workers, HTTP handlers — can answer in parallel without locks. The
+// store reference itself is an atomic pointer: SwapStore (or the Rebuild
+// hook) replaces the live store with a freshly pre-processed one without
+// pausing in-flight answers, making periodic re-summarization a zero
+// downtime operation. Per-user conversational state (the "repeat"
+// request) lives in Session.
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cicero/internal/engine"
@@ -93,10 +100,12 @@ type Options struct {
 }
 
 // Answerer is the serving front door. Create one per (relation, store)
-// pair with New and share it freely across goroutines.
+// pair with New and share it freely across goroutines. The live store is
+// held behind an atomic pointer so SwapStore/Rebuild can replace it
+// while answers are being served.
 type Answerer struct {
 	rel   *relation.Relation
-	store *engine.Store
+	store atomic.Pointer[engine.Store]
 	ex    *voice.Extractor
 	opts  Options
 	help  string
@@ -108,15 +117,55 @@ func New(rel *relation.Relation, store *engine.Store, ex *voice.Extractor, opts 
 	if opts.MinExtremumRows <= 0 {
 		opts.MinExtremumRows = 10
 	}
-	return &Answerer{
-		rel:   rel,
-		store: store.Freeze(),
-		ex:    ex,
-		opts:  opts,
+	a := &Answerer{
+		rel:  rel,
+		ex:   ex,
+		opts: opts,
 		help: fmt.Sprintf("You can ask about %s, restricted by %s.",
 			strings.Join(rel.Schema().Targets, ", "),
 			strings.Join(rel.Schema().Dimensions, ", ")),
 	}
+	a.store.Store(store.Freeze())
+	return a
+}
+
+// Store returns the live speech store (always frozen). The reference is
+// a snapshot: a concurrent SwapStore does not affect it.
+func (a *Answerer) Store() *engine.Store {
+	return a.store.Load()
+}
+
+// SwapStore atomically replaces the live speech store with next and
+// returns the previous one. The next store is frozen as a side effect;
+// in-flight answers keep serving from the store they loaded, new answers
+// see the replacement immediately — there is no pause and no lock. This
+// is the zero-downtime path for periodic re-summarization: pre-process a
+// fresh store in the background (the pipeline package), then swap it in.
+func (a *Answerer) SwapStore(next *engine.Store) *engine.Store {
+	if next == nil {
+		panic("serve: SwapStore with nil store")
+	}
+	return a.store.Swap(next.Freeze())
+}
+
+// Rebuild re-runs pre-processing through the supplied build function and
+// swaps the resulting store in atomically, returning the replaced store.
+// Serving continues from the old store for the whole build; on error the
+// old store stays live. Typical use wires the pipeline in:
+//
+//	old, err := a.Rebuild(ctx, func(ctx context.Context) (*engine.Store, error) {
+//		store, _, err := pipeline.Run(ctx, rel, cfg, opts)
+//		return store, err
+//	})
+func (a *Answerer) Rebuild(ctx context.Context, build func(context.Context) (*engine.Store, error)) (*engine.Store, error) {
+	next, err := build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if next == nil {
+		return nil, errors.New("serve: rebuild returned a nil store")
+	}
+	return a.SwapStore(next), nil
 }
 
 // Answer classifies one voice request and routes it to the right backend.
@@ -162,11 +211,14 @@ func (a *Answerer) route(c voice.Classification, text string) Answer {
 }
 
 // answerSummary serves a supported query from the indexed speech store.
+// The store pointer is loaded once per answer, so a concurrent swap can
+// never mix two stores within one request.
 func (a *Answerer) answerSummary(q engine.Query) Answer {
-	sp, exact, ok := a.store.Match(q)
+	store := a.store.Load()
+	sp, exact, ok := store.Match(q)
 	if !ok {
 		text := "I have no answer for that data subset."
-		if !a.store.HasTarget(q.Target) {
+		if !store.HasTarget(q.Target) {
 			text = fmt.Sprintf("I have no answers about %s.",
 				strings.ReplaceAll(q.Target, "_", " "))
 		}

@@ -180,6 +180,18 @@ func (e *Evaluator) buildGroupsAndPostings() {
 // NumRows returns the number of rows in the problem's view.
 func (e *Evaluator) NumRows() int { return e.view.NumRows() }
 
+// View returns the data subset the problem summarizes. Solvers that do
+// not run over the candidate-fact join (e.g. the sampling and ML
+// baselines behind the pipeline's solver registry) read the raw rows
+// through it.
+func (e *Evaluator) View() *relation.View { return e.view }
+
+// Target returns the target column index of the problem instance.
+func (e *Evaluator) Target() int { return e.target }
+
+// Prior returns the prior expectation model of the problem instance.
+func (e *Evaluator) Prior() fact.Prior { return e.prior }
+
 // NumFacts returns the number of candidate facts.
 func (e *Evaluator) NumFacts() int { return len(e.facts) }
 

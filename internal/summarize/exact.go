@@ -1,6 +1,7 @@
 package summarize
 
 import (
+	"context"
 	"time"
 )
 
@@ -9,9 +10,19 @@ import (
 // never prune a true optimum.
 const pruneEps = 1e-9
 
-// Exact runs Algorithm 1: exhaustive speech enumeration with two pruning
-// rules, returning a guaranteed optimal speech of up to opts.MaxFacts
-// facts (Corollary 1).
+// ctxCheckEvery is how many enumeration steps pass between context
+// polls in the algorithms' inner loops: rare enough to stay off the hot
+// path, frequent enough that cancellation returns within microseconds.
+const ctxCheckEvery = int64(1024)
+
+// Exact runs Algorithm 1 without cancellation support; see ExactCtx.
+func Exact(e *Evaluator, opts Options) Summary {
+	return ExactCtx(context.Background(), e, opts)
+}
+
+// ExactCtx runs Algorithm 1: exhaustive speech enumeration with two
+// pruning rules, returning a guaranteed optimal speech of up to
+// opts.MaxFacts facts (Corollary 1).
 //
 // Pruning rule 1 eliminates redundant fact permutations by only expanding
 // speeches with facts in decreasing single-fact-utility order. Pruning
@@ -23,9 +34,14 @@ const pruneEps = 1e-9
 // The lower bound is seeded from opts.LowerBound (callers pass the greedy
 // utility, as the paper does) and tightened with every exact utility
 // computed, which only strengthens pruning and never sacrifices
-// optimality. If opts.Timeout is positive and expires, the best speech
-// found so far is returned with Stats.TimedOut set.
-func Exact(e *Evaluator, opts Options) Summary {
+// optimality.
+//
+// The run is bounded two ways: opts.Timeout and the context's deadline
+// both become the enumeration deadline (whichever is earlier), returning
+// the best speech found so far with Stats.TimedOut set; cancelling ctx
+// aborts the enumeration within ctxCheckEvery nodes and returns the best
+// speech so far with Stats.Cancelled set.
+func ExactCtx(ctx context.Context, e *Evaluator, opts Options) Summary {
 	opts = opts.withDefaults()
 	start := time.Now()
 	joined0 := e.JoinedRows
@@ -47,7 +63,10 @@ func Exact(e *Evaluator, opts Options) Summary {
 	if opts.Timeout > 0 {
 		deadline = start.Add(opts.Timeout)
 	}
-	checkEvery := int64(1024)
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	watchCtx := ctx.Done() != nil
 
 	evaluate := func(chosen []int32) {
 		u := e.SpeechUtility(chosen)
@@ -68,13 +87,30 @@ func Exact(e *Evaluator, opts Options) Summary {
 	var chosen []int32
 	var dfs func(pos int, sumU float64)
 	timedOut := false
+	cancelled := false
 	dfs = func(pos int, sumU float64) {
-		if timedOut {
+		if timedOut || cancelled {
 			return
 		}
-		if !deadline.IsZero() && stats.NodesExpanded%checkEvery == 0 && time.Now().After(deadline) {
-			timedOut = true
-			return
+		if stats.NodesExpanded%ctxCheckEvery == 0 {
+			// Deadline before cancellation: an expired ctx deadline makes
+			// ctx.Err() non-nil at the same instant, and it must count as
+			// a timeout (best-so-far kept), not a cancellation.
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				timedOut = true
+				return
+			}
+			if watchCtx {
+				switch ctx.Err() {
+				case nil:
+				case context.DeadlineExceeded:
+					timedOut = true
+					return
+				default:
+					cancelled = true
+					return
+				}
+			}
 		}
 		if len(chosen) == m {
 			evaluate(chosen)
@@ -99,7 +135,7 @@ func Exact(e *Evaluator, opts Options) Summary {
 			chosen = append(chosen, fi)
 			dfs(i+1, sumU+u)
 			chosen = chosen[:len(chosen)-1]
-			if timedOut {
+			if timedOut || cancelled {
 				return
 			}
 		}
@@ -128,6 +164,7 @@ func Exact(e *Evaluator, opts Options) Summary {
 		out.Facts = append(out.Facts, e.Facts()[fi])
 	}
 	stats.TimedOut = timedOut
+	stats.Cancelled = cancelled
 	stats.Elapsed = time.Since(start)
 	stats.JoinedRows = e.JoinedRows - joined0
 	out.Stats = stats

@@ -1,6 +1,7 @@
 package summarize
 
 import (
+	"context"
 	"time"
 
 	"cicero/internal/fact"
@@ -94,6 +95,10 @@ type RunStats struct {
 	Elapsed time.Duration
 	// TimedOut reports whether the exact algorithm hit its timeout.
 	TimedOut bool
+	// Cancelled reports whether the run was aborted by context
+	// cancellation; the returned speech reflects only the completed part
+	// of the search and carries no optimality guarantee.
+	Cancelled bool
 }
 
 // Summary is the result of a summarization run: the selected facts, their
@@ -122,11 +127,22 @@ func (s Summary) Speech() fact.Speech {
 	return fact.Speech{Facts: append([]fact.Fact(nil), s.Facts...)}
 }
 
-// Greedy runs Algorithm 2 (with the pruning strategy selected in opts) on
-// a prepared evaluator and returns the near-optimal speech. The greedy
+// Greedy runs Algorithm 2 without cancellation support; see GreedyCtx.
+func Greedy(e *Evaluator, opts Options) Summary {
+	return GreedyCtx(context.Background(), e, opts)
+}
+
+// GreedyCtx runs Algorithm 2 (with the pruning strategy selected in opts)
+// on a prepared evaluator and returns the near-optimal speech. The greedy
 // choice of the maximal-gain fact per iteration guarantees utility within
 // (1−1/e) of the optimum (Theorem 3).
-func Greedy(e *Evaluator, opts Options) Summary {
+//
+// Cancelling ctx (or letting its deadline expire) aborts the run within
+// ctxCheckEvery fact evaluations: the facts committed by completed
+// iterations are returned with Stats.Cancelled set, and the iteration
+// whose scan was interrupted is discarded so a partially scanned
+// candidate set can never produce a non-greedy choice.
+func GreedyCtx(ctx context.Context, e *Evaluator, opts Options) Summary {
 	opts = opts.withDefaults()
 	start := time.Now()
 	e.ResetGreedy()
@@ -149,7 +165,14 @@ func Greedy(e *Evaluator, opts Options) Summary {
 	var chosen []int32
 	chosenSet := make(map[int32]bool)
 	for iter := 0; iter < opts.MaxFacts; iter++ {
-		bestFact, bestGain := selectBestFact(e, opts, plan, chosenSet, &stats)
+		if ctx.Err() != nil {
+			stats.Cancelled = true
+			break
+		}
+		bestFact, bestGain := selectBestFact(ctx, e, opts, plan, chosenSet, &stats)
+		if stats.Cancelled {
+			break
+		}
 		if bestFact < 0 || bestGain <= 0 {
 			break
 		}
@@ -179,27 +202,49 @@ func Greedy(e *Evaluator, opts Options) Summary {
 // current greedy state, using the configured pruning strategy. Ties are
 // broken toward the smallest fact index so that all pruning modes select
 // identical speeches (pruning only changes scan order, never the
-// argmax).
-func selectBestFact(e *Evaluator, opts Options, plan *Plan, chosenSet map[int32]bool, stats *RunStats) (int32, float64) {
+// argmax). A cancelled ctx aborts the scan (polled every ctxCheckEvery
+// fact evaluations) and sets stats.Cancelled; the partial argmax must
+// then be discarded by the caller.
+func selectBestFact(ctx context.Context, e *Evaluator, opts Options, plan *Plan, chosenSet map[int32]bool, stats *RunStats) (int32, float64) {
 	best := int32(-1)
 	bestGain := 0.0
-	eval := func(fi int32) {
+	watchCtx := ctx.Done() != nil
+	evals := int64(0)
+	// eval scores one candidate and reports whether to keep scanning.
+	eval := func(fi int32) bool {
+		if watchCtx {
+			if evals++; evals%ctxCheckEvery == 0 && ctx.Err() != nil {
+				stats.Cancelled = true
+				return false
+			}
+		}
 		if chosenSet[fi] {
-			return
+			return true
 		}
 		gain := e.GreedyGain(int(fi))
 		stats.FactsEvaluated++
 		if gain <= 0 {
-			return
+			return true
 		}
 		if gain > bestGain || (gain == bestGain && (best < 0 || fi < best)) {
 			bestGain, best = gain, fi
 		}
+		return true
+	}
+	scan := func(facts []int32) bool {
+		for _, fi := range facts {
+			if !eval(fi) {
+				return false
+			}
+		}
+		return true
 	}
 
 	if opts.Pruning == PruneNone || plan == nil {
 		for fi := int32(0); fi < int32(e.NumFacts()); fi++ {
-			eval(fi)
+			if !eval(fi) {
+				break
+			}
 		}
 		return best, bestGain
 	}
@@ -212,8 +257,8 @@ func selectBestFact(e *Evaluator, opts Options, plan *Plan, chosenSet map[int32]
 		alive[i] = true
 	}
 	for _, gi := range plan.Source {
-		for _, fi := range groups[gi].Facts {
-			eval(fi)
+		if !scan(groups[gi].Facts) {
+			return best, bestGain
 		}
 		alive[gi] = false // scanned; exclude from the final pass
 	}
@@ -224,6 +269,10 @@ func selectBestFact(e *Evaluator, opts Options, plan *Plan, chosenSet map[int32]
 		for _, ti := range plan.Targets {
 			if !alive[ti] {
 				continue
+			}
+			if watchCtx && ctx.Err() != nil {
+				stats.Cancelled = true
+				return best, bestGain
 			}
 			bound := e.GroupBound(&groups[ti])
 			stats.BoundsComputed++
@@ -241,8 +290,8 @@ func selectBestFact(e *Evaluator, opts Options, plan *Plan, chosenSet map[int32]
 		if !alive[gi] {
 			continue
 		}
-		for _, fi := range groups[gi].Facts {
-			eval(fi)
+		if !scan(groups[gi].Facts) {
+			return best, bestGain
 		}
 	}
 	return best, bestGain
