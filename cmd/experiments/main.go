@@ -23,13 +23,25 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (or 'all')")
-		seed    = flag.Int64("seed", 1, "random seed for data and studies")
-		sample  = flag.Int("sample", 24, "queries sampled per scenario (figures 3/4); 0 = all")
-		timeout = flag.Duration("timeout", 2*time.Second, "exact-algorithm timeout per problem")
-		workers = flag.Int("workers", 1, "parallel solvers in the pre-processing pipeline")
+		exp       = flag.String("exp", "all", "experiment to run (or 'all')")
+		seed      = flag.Int64("seed", 1, "random seed for data and studies")
+		sample    = flag.Int("sample", 24, "queries sampled per scenario (figures 3/4); 0 = all")
+		timeout   = flag.Duration("timeout", 2*time.Second, "exact-algorithm timeout per problem")
+		workers   = flag.Int("workers", 1, "parallel solvers in the pre-processing pipeline")
+		benchFile = flag.String("bench-kernel", "", "run the summarization-kernel micro-benchmarks and write the JSON report to this path (e.g. BENCH_summarize.json), then exit")
 	)
 	flag.Parse()
+
+	if *benchFile != "" {
+		report, err := experiments.WriteKernelBench(*benchFile, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		report.Render(os.Stdout)
+		fmt.Printf("wrote %s\n", *benchFile)
+		return
+	}
 
 	params := experiments.DefaultScenarioParams()
 	params.Seed = *seed

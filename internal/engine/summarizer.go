@@ -64,6 +64,23 @@ func Solve(ctx context.Context, alg Algorithm, e *summarize.Evaluator, opts summ
 	}
 }
 
+// SolveProblem generates candidate facts for one problem and runs the
+// selected algorithm on a pooled evaluator: the kernel's buffers (CSR
+// postings, group slots, scratch) are recycled across calls, so a loop
+// of SolveProblem calls allocates almost nothing per problem beyond the
+// facts and the returned summary. This is the per-problem solving core
+// behind both the deprecated Summarizer and the pipeline's solver
+// registry.
+func SolveProblem(ctx context.Context, alg Algorithm, p *Problem, maxFactDims int, opts summarize.Options) (summarize.Summary, error) {
+	facts := p.GenerateFacts(maxFactDims)
+	if len(facts) == 0 {
+		return summarize.Summary{}, fmt.Errorf("problem %s: no candidate facts", p.Query.Key())
+	}
+	e := summarize.AcquireEvaluator(p.View, p.Target, facts, p.Prior)
+	defer summarize.ReleaseEvaluator(e)
+	return Solve(ctx, alg, e, opts), nil
+}
+
 // BatchStats summarizes a pre-processing run.
 type BatchStats struct {
 	// Problems is the number of summarization problems solved.
@@ -259,14 +276,10 @@ func (s *Summarizer) solveParallel(problems []Problem, summaries []summarize.Sum
 	return firstErr
 }
 
-// solveProblem generates facts for one problem and runs the algorithm.
+// solveProblem generates facts for one problem and runs the algorithm on
+// a pooled evaluator (SolveProblem), so batch loops reuse kernel buffers.
 func (s *Summarizer) solveProblem(p *Problem, opts summarize.Options) (summarize.Summary, error) {
-	facts := p.GenerateFacts(s.Config.MaxFactDims)
-	if len(facts) == 0 {
-		return summarize.Summary{}, fmt.Errorf("problem %s: no candidate facts", p.Query.Key())
-	}
-	e := summarize.NewEvaluator(p.View, p.Target, facts, p.Prior)
-	return Solve(context.Background(), s.Alg, e, opts), nil
+	return SolveProblem(context.Background(), s.Alg, p, s.Config.MaxFactDims, opts)
 }
 
 // Answer performs a run-time lookup and reports the latency, the metric

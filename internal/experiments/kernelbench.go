@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"testing"
+
+	"cicero/internal/fact"
+	"cicero/internal/relation"
+	"cicero/internal/summarize"
+)
+
+// KernelBenchResult is one summarization-kernel micro-benchmark
+// measurement, serialized into BENCH_summarize.json so kernel
+// performance can be tracked across commits.
+type KernelBenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// KernelBenchReport is the file-level shape of BENCH_summarize.json.
+type KernelBenchReport struct {
+	Seed    int64               `json:"seed"`
+	Results []KernelBenchResult `json:"results"`
+}
+
+// Render implements the experiment renderer shape for console output.
+func (r *KernelBenchReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "Summarization kernel micro-benchmarks (seed %d)\n", r.Seed)
+	fmt.Fprintf(w, "%-24s %12s %12s %12s\n", "benchmark", "ns/op", "allocs/op", "B/op")
+	for _, res := range r.Results {
+		fmt.Fprintf(w, "%-24s %12.0f %12d %12d\n", res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+	}
+}
+
+// kernelBenchInstance builds the deterministic problem instance the
+// kernel benchmarks run on: rows over three dimension columns with the
+// full candidate fact set up to maxDims dimensions.
+func kernelBenchInstance(seed int64, rows, maxDims int) (*relation.View, []fact.Fact, fact.Prior) {
+	rng := rand.New(rand.NewSource(seed))
+	b := relation.NewBuilder("kernelbench", relation.Schema{
+		Dimensions: []string{"a", "b", "c"},
+		Targets:    []string{"v"},
+	})
+	av := []string{"a0", "a1", "a2", "a3"}
+	bv := []string{"b0", "b1", "b2"}
+	cv := []string{"c0", "c1"}
+	for i := 0; i < rows; i++ {
+		b.MustAddRow(
+			[]string{av[rng.Intn(len(av))], bv[rng.Intn(len(bv))], cv[rng.Intn(len(cv))]},
+			[]float64{rng.NormFloat64()*10 + float64(rng.Intn(3))*15},
+		)
+	}
+	rel := b.Freeze()
+	view := rel.FullView()
+	facts := fact.Generate(view, 0, fact.GenerateOptions{MaxDims: maxDims})
+	return view, facts, fact.MeanPrior(view, 0)
+}
+
+// KernelBench measures the summarization kernel's per-problem cost —
+// pooled evaluator build, greedy solves, and the exact search — with
+// testing.Benchmark, mirroring the BenchmarkEvaluatorBuild /
+// BenchmarkGreedySolve / BenchmarkExactSolve suite in
+// internal/summarize.
+func KernelBench(seed int64) *KernelBenchReport {
+	report := &KernelBenchReport{Seed: seed}
+	record := func(name string, fn func(b *testing.B)) {
+		res := testing.Benchmark(fn)
+		report.Results = append(report.Results, KernelBenchResult{
+			Name:        name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+	}
+
+	view, facts, prior := kernelBenchInstance(seed, 2000, 2)
+	record("EvaluatorBuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := summarize.AcquireEvaluator(view, 0, facts, prior)
+			summarize.ReleaseEvaluator(e)
+		}
+	})
+	for _, mode := range []summarize.PruningMode{summarize.PruneNone, summarize.PruneOptimized} {
+		record("GreedySolve/"+mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := summarize.AcquireEvaluator(view, 0, facts, prior)
+				summarize.Greedy(e, summarize.Options{MaxFacts: 3, Pruning: mode})
+				summarize.ReleaseEvaluator(e)
+			}
+		})
+	}
+	xview, xfacts, xprior := kernelBenchInstance(seed, 600, 3)
+	record("ExactSolve", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := summarize.AcquireEvaluator(xview, 0, xfacts, xprior)
+			g := summarize.Greedy(e, summarize.Options{MaxFacts: 3})
+			summarize.Exact(e, summarize.Options{MaxFacts: 3, LowerBound: g.Utility})
+			summarize.ReleaseEvaluator(e)
+		}
+	})
+	return report
+}
+
+// WriteKernelBench runs KernelBench and writes the JSON report to path
+// (conventionally BENCH_summarize.json).
+func WriteKernelBench(path string, seed int64) (*KernelBenchReport, error) {
+	report := KernelBench(seed)
+	data, err := json.MarshalIndent(report, "", "\t")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return report, nil
+}

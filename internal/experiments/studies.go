@@ -401,7 +401,8 @@ func MLExperiment(seed int64) (*MLResult, error) {
 
 	solveOurs := func(p *engine.Problem) summarize.Summary {
 		facts := p.GenerateFacts(cfg.MaxFactDims)
-		e := summarize.NewEvaluator(p.View, p.Target, facts, p.Prior)
+		e := summarize.AcquireEvaluator(p.View, p.Target, facts, p.Prior)
+		defer summarize.ReleaseEvaluator(e)
 		return summarize.Greedy(e, summarize.Options{MaxFacts: cfg.MaxFacts})
 	}
 

@@ -390,7 +390,10 @@ func solveOne(ctx context.Context, rel *relation.Relation, cfg engine.Config, so
 		return result{problem: p, key: key,
 			err: fmt.Errorf("problem %s: no candidate facts", key), evalTime: time.Since(t0)}
 	}
-	e := summarize.NewEvaluator(p.View, p.Target, facts, p.Prior)
+	// Pooled evaluator: each solve worker rebuilds a recycled instance in
+	// place, so the generate→solve loop stops reallocating the join
+	// output, scratch, and group structures for every problem.
+	e := summarize.AcquireEvaluator(p.View, p.Target, facts, p.Prior)
 	t1 := time.Now()
 	sum, err := solver.Solve(ctx, e, SolveOptions{
 		Options:  baseOpts,
@@ -398,6 +401,7 @@ func solveOne(ctx context.Context, rel *relation.Relation, cfg engine.Config, so
 		FreeDims: p.FreeDims,
 		Seed:     problemSeed(opts.Seed, key),
 	})
+	summarize.ReleaseEvaluator(e)
 	t2 := time.Now()
 	res := result{problem: p, key: key, summary: sum,
 		evalTime: t1.Sub(t0), solveTime: t2.Sub(t1)}

@@ -6,9 +6,9 @@
 package summarize
 
 import (
-	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"cicero/internal/fact"
 	"cicero/internal/relation"
@@ -21,7 +21,20 @@ import (
 //
 // The paper executes these steps as SQL joins and aggregations inside the
 // DBMS; the Evaluator is the in-memory equivalent with identical
-// semantics.
+// semantics, laid out as a flat allocation-free kernel:
+//
+//   - posting lists live in one CSR backing array (postRows + postStart),
+//     so a problem's entire join output is a single allocation;
+//   - per-group combo keys are resolved once at build into dense per-row
+//     slot ids, so GroupBound is a pure array scan with zero hashing;
+//   - speech evaluation uses an epoch-stamped dense scratch instead of a
+//     per-call map, and the exact algorithm's DFS maintains per-row
+//     deviations incrementally with an undo log;
+//   - every scratch buffer is retained across Reset calls, so a pooled
+//     evaluator solves problem after problem without reallocating.
+//
+// An Evaluator is not safe for concurrent use; the pipeline gives each
+// worker its own pooled instance.
 type Evaluator struct {
 	view   *relation.View
 	target int
@@ -31,16 +44,67 @@ type Evaluator struct {
 	truth    []float64 // target value per view row
 	priorDev []float64 // |prior − truth| per view row
 	priorSum float64   // D(∅), the error of the empty speech
-	postings [][]int32 // per fact: view-row positions within scope
 	groups   []FactGroup
 
+	// CSR posting layout: fact fi's in-scope view rows are
+	// postRows[postStart[fi]:postStart[fi+1]]. Offsets are ints: the
+	// total join output across all facts can exceed 2³¹ rows even when
+	// every individual posting list fits in int32.
+	postRows  []int32
+	postStart []int
+	postFill  []int
+
 	// curDev is the greedy algorithm's per-row expectation state: the
-	// deviation |E(F,r) − vr| under the facts selected so far. It doubles
-	// as scratch space for exact speech evaluation.
+	// deviation |E(F,r) − vr| under the facts selected so far.
 	curDev []float64
 
+	// Per-row dense slot ids per bound group (n entries per group with a
+	// non-empty dim set, at the group's slotsOff), plus the shared
+	// accumulator sized to the widest group.
+	rowSlots  []int32
+	boundSums []float64
+
+	// Epoch-stamped scratch for SpeechUtility: a row's deviation in
+	// speechDev is valid iff its stamp equals the current epoch, so
+	// "clearing" between calls is one counter increment.
+	speechDev []float64
+	stamp     []uint64
+	epoch     uint64
+	touched   []int32
+
+	// Incremental exact-DFS state: deviations along the current search
+	// path with an undo log, the running utility, and the join-size
+	// accounting of the path (see ExactCtx).
+	pathDev  []float64
+	undoRow  []int32
+	undoVal  []float64
+	pathU    float64
+	pathPost int64
+
+	// Reusable build + solve scratch.
+	byMask     map[uint64]int32 // dim-set mask → group (NumDims ≤ 64)
+	byKeyStr   map[string]int32 // fallback group key (NumDims > 64)
+	keyBuf     []byte
+	byCombo    map[int64]int32 // combo key → slot, reused per group
+	slotFact   []int32         // slot → fact (or −1), flattened per group
+	radixBuf   []int64
+	gfStart    []int32 // CSR offsets of groupFacts
+	groupFacts []int32 // per-group fact lists, one backing array
+	factGroup  []int32 // fact → group
+	fillCursor []int32
+	utilsBuf   []float64
+	orderBuf   []int32
+	sorter     utilOrderSorter
+	chosenMark []bool
+	aliveMark  []bool
+
 	// JoinedRows counts row-fact pairs processed, mirroring the paper's
-	// processing-cost metric (number of rows processed by joins).
+	// processing-cost metric (number of rows processed by joins). The
+	// counter keeps the SQL-join accounting semantics of the paper even
+	// where the kernel does less physical work: the exact algorithm's
+	// incremental DFS charges each evaluated speech the full join size
+	// the paper's final Γ_{ΣU} join would scan, so E vs G-B/G-P/G-O
+	// comparisons stay on the metric of Figures 3/4.
 	JoinedRows int64
 }
 
@@ -49,11 +113,36 @@ type Evaluator struct {
 type FactGroup struct {
 	Dims  []int   // restricted dimension columns, ascending
 	Facts []int32 // indices into the evaluator's fact slice
+
+	// Bound precompute: view row i's value combination over Dims is the
+	// dense slot rowSlots[slotsOff+i] (slots cover every combination
+	// appearing in the view, not only those backed by a fact).
+	slotsOff int
+	numSlots int
+	slotBase int // offset of this group's slot→fact entries in slotFact
 }
 
-// key returns a canonical identity for the group's dimension set.
-func groupKey(dims []int) string {
-	return fmt.Sprint(dims)
+// dimsMask packs an ascending dim-index set into a bitmask key. The
+// second result is false when an index does not fit in 64 bits.
+func dimsMask(dims []int) (uint64, bool) {
+	var m uint64
+	for _, d := range dims {
+		if d >= 64 {
+			return 0, false
+		}
+		m |= 1 << uint(d)
+	}
+	return m, true
+}
+
+// appendDimsKey renders the fallback group key for relations with more
+// than 64 dimension columns, reusing the caller's buffer.
+func appendDimsKey(buf []byte, dims []int) []byte {
+	for _, d := range dims {
+		buf = strconv.AppendInt(buf, int64(d), 10)
+		buf = append(buf, ',')
+	}
+	return buf
 }
 
 // dimsSubset reports whether a ⊆ b for ascending dim slices.
@@ -71,21 +160,67 @@ func dimsSubset(a, b []int) bool {
 	return true
 }
 
+// growI32 returns a length-n slice, reusing s's backing array when it is
+// large enough. Contents are unspecified.
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// growF64 is growI32 for float64 slices.
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growInt is growI32 for int slices.
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
 // NewEvaluator builds the evaluator for a problem instance. The posting
 // lists are built with one pass over the view per fact group, exploiting
-// the fact that facts in a group partition rows.
+// the fact that facts in a group partition the rows.
+//
+// For solve loops over many problems, prefer AcquireEvaluator /
+// ReleaseEvaluator (or an explicit Reset on a retained instance), which
+// reuse all internal buffers across problems.
 func NewEvaluator(view *relation.View, target int, facts []fact.Fact, prior fact.Prior) *Evaluator {
+	e := &Evaluator{}
+	e.Reset(view, target, facts, prior)
+	return e
+}
+
+// Reset rebuilds the evaluator for a new problem instance, reusing every
+// internal buffer of the previous one. After Reset the evaluator is
+// indistinguishable from a freshly built one: all per-problem state
+// (postings, groups, greedy expectation state, counters) is recomputed.
+func (e *Evaluator) Reset(view *relation.View, target int, facts []fact.Fact, prior fact.Prior) {
 	n := view.NumRows()
-	e := &Evaluator{
-		view:     view,
-		target:   target,
-		facts:    facts,
-		prior:    prior,
-		truth:    make([]float64, n),
-		priorDev: make([]float64, n),
-		postings: make([][]int32, len(facts)),
-		curDev:   make([]float64, n),
+	e.view = view
+	e.target = target
+	e.facts = facts
+	e.prior = prior
+	e.truth = growF64(e.truth, n)
+	e.priorDev = growF64(e.priorDev, n)
+	e.curDev = growF64(e.curDev, n)
+	e.speechDev = growF64(e.speechDev, n)
+	if cap(e.stamp) < n {
+		e.stamp = make([]uint64, n)
+		e.epoch = 0
+	} else {
+		e.stamp = e.stamp[:n]
 	}
+	e.touched = growI32(e.touched, n)[:0]
+	e.priorSum = 0
+	e.JoinedRows = 0
 	col := view.Rel.Target(target)
 	for i := 0; i < n; i++ {
 		row := view.Row(i)
@@ -95,14 +230,29 @@ func NewEvaluator(view *relation.View, target int, facts []fact.Fact, prior fact
 		e.curDev[i] = e.priorDev[i]
 	}
 	e.buildGroupsAndPostings()
-	return e
 }
 
-// comboRadix returns mixed-radix multipliers that map a value-code
-// combination over the given dimensions to a unique int64 key, avoiding
-// per-row string allocation in the hot join and bound loops.
-func (e *Evaluator) comboRadix(dims []int) []int64 {
-	radix := make([]int64, len(dims))
+// detach drops the problem references so a pooled evaluator never pins a
+// relation, fact slice, or prior beyond its solve.
+func (e *Evaluator) detach() {
+	e.view = nil
+	e.facts = nil
+	e.prior = nil
+	groups := e.groups[:cap(e.groups)]
+	for i := range groups {
+		groups[i] = FactGroup{}
+	}
+	e.groups = e.groups[:0]
+}
+
+// comboRadixInto fills mixed-radix multipliers that map a value-code
+// combination over the given dimensions to a unique int64 key, reusing
+// the evaluator's radix buffer.
+func (e *Evaluator) comboRadixInto(dims []int) []int64 {
+	if cap(e.radixBuf) < len(dims) {
+		e.radixBuf = make([]int64, len(dims))
+	}
+	radix := e.radixBuf[:len(dims)]
 	stride := int64(1)
 	for i, d := range dims {
 		radix[i] = stride
@@ -133,48 +283,180 @@ func (e *Evaluator) rowComboKey(row int32, dims []int, radix []int64) int64 {
 // assigns each view row to the matching fact of every group in a single
 // pass per group. Facts in one group partition the rows, so the join
 // R ⋊⋉M F costs one relation pass per fact group instead of one per fact.
+//
+// The same per-group row pass resolves each row's value combination to a
+// dense slot id, stored for the lifetime of the problem: GroupBound
+// re-reads those slots on every greedy iteration instead of recomputing
+// radix keys, and the postings land in one shared CSR backing array.
 func (e *Evaluator) buildGroupsAndPostings() {
-	byKey := map[string]int{}
-	for fi, f := range e.facts {
-		k := groupKey(f.Scope.Dims)
-		gi, ok := byKey[k]
-		if !ok {
-			gi = len(e.groups)
-			byKey[k] = gi
-			e.groups = append(e.groups, FactGroup{Dims: append([]int(nil), f.Scope.Dims...)})
-		}
-		e.groups[gi].Facts = append(e.groups[gi].Facts, int32(fi))
-	}
 	n := e.view.NumRows()
-	for gi := range e.groups {
-		g := &e.groups[gi]
-		if len(g.Dims) == 0 {
-			// Every row is within scope of the single scope-free fact.
-			for _, fi := range g.Facts {
-				post := make([]int32, n)
-				for i := range post {
-					post[i] = int32(i)
+	nf := len(e.facts)
+
+	// 1) Assign facts to groups, keyed by the packed dim-set mask (or the
+	// string fallback for >64 dimension columns).
+	e.factGroup = growI32(e.factGroup, nf)
+	e.groups = e.groups[:0]
+	if e.view.Rel.NumDims() <= 64 {
+		if e.byMask == nil {
+			e.byMask = make(map[uint64]int32)
+		} else {
+			clear(e.byMask)
+		}
+		for fi := range e.facts {
+			dims := e.facts[fi].Scope.Dims
+			m, _ := dimsMask(dims)
+			gi, ok := e.byMask[m]
+			if !ok {
+				gi = int32(len(e.groups))
+				e.byMask[m] = gi
+				e.groups = append(e.groups, FactGroup{Dims: dims})
+			}
+			e.factGroup[fi] = gi
+		}
+	} else {
+		if e.byKeyStr == nil {
+			e.byKeyStr = make(map[string]int32)
+		} else {
+			clear(e.byKeyStr)
+		}
+		for fi := range e.facts {
+			dims := e.facts[fi].Scope.Dims
+			e.keyBuf = appendDimsKey(e.keyBuf[:0], dims)
+			gi, ok := e.byKeyStr[string(e.keyBuf)]
+			if !ok {
+				gi = int32(len(e.groups))
+				e.byKeyStr[string(e.keyBuf)] = gi
+				e.groups = append(e.groups, FactGroup{Dims: dims})
+			}
+			e.factGroup[fi] = gi
+		}
+	}
+	ng := len(e.groups)
+
+	// 2) Per-group fact lists in CSR form over one backing array.
+	e.gfStart = growI32(e.gfStart, ng+1)
+	gf := e.gfStart
+	for i := range gf {
+		gf[i] = 0
+	}
+	for fi := 0; fi < nf; fi++ {
+		gf[e.factGroup[fi]+1]++
+	}
+	for g := 0; g < ng; g++ {
+		gf[g+1] += gf[g]
+	}
+	e.groupFacts = growI32(e.groupFacts, nf)
+	e.fillCursor = growI32(e.fillCursor, ng)
+	copy(e.fillCursor, gf[:ng])
+	for fi := 0; fi < nf; fi++ {
+		g := e.factGroup[fi]
+		e.groupFacts[e.fillCursor[g]] = int32(fi)
+		e.fillCursor[g]++
+	}
+	for g := 0; g < ng; g++ {
+		e.groups[g].Facts = e.groupFacts[gf[g]:gf[g+1]]
+	}
+
+	// 3) One keyed pass per group resolves rows to slots, counting each
+	// fact's posting size along the way.
+	e.postStart = growInt(e.postStart, nf+1)
+	ps := e.postStart
+	for i := range ps {
+		ps[i] = 0
+	}
+	boundGroups := 0
+	for g := range e.groups {
+		if len(e.groups[g].Dims) > 0 {
+			boundGroups++
+		}
+	}
+	e.rowSlots = growI32(e.rowSlots, boundGroups*n)
+	if e.byCombo == nil {
+		e.byCombo = make(map[int64]int32)
+	}
+	e.slotFact = e.slotFact[:0]
+	maxSlots := 0
+	off := 0
+	for g := range e.groups {
+		grp := &e.groups[g]
+		if len(grp.Dims) == 0 {
+			// Every row is within scope of each scope-free fact.
+			for _, fi := range grp.Facts {
+				ps[fi+1] = n
+			}
+			grp.slotsOff, grp.numSlots, grp.slotBase = -1, 0, -1
+			continue
+		}
+		radix := e.comboRadixInto(grp.Dims)
+		clear(e.byCombo)
+		grp.slotBase = len(e.slotFact)
+		for _, fi := range grp.Facts {
+			e.byCombo[comboKey(e.facts[fi].Scope.Codes, radix)] = int32(len(e.slotFact) - grp.slotBase)
+			e.slotFact = append(e.slotFact, fi)
+		}
+		rs := e.rowSlots[off : off+n]
+		for i := 0; i < n; i++ {
+			key := e.rowComboKey(e.view.Row(i), grp.Dims, radix)
+			slot, ok := e.byCombo[key]
+			if !ok {
+				slot = int32(len(e.slotFact) - grp.slotBase)
+				e.byCombo[key] = slot
+				e.slotFact = append(e.slotFact, -1)
+			}
+			rs[i] = slot
+			if fi := e.slotFact[grp.slotBase+int(slot)]; fi >= 0 {
+				ps[fi+1]++
+			}
+		}
+		grp.slotsOff = off
+		grp.numSlots = len(e.slotFact) - grp.slotBase
+		if grp.numSlots > maxSlots {
+			maxSlots = grp.numSlots
+		}
+		off += n
+	}
+	e.boundSums = growF64(e.boundSums, maxSlots)
+
+	// 4) Prefix offsets, then one slot-driven fill pass per group writes
+	// the join output into the single CSR backing array.
+	for fi := 0; fi < nf; fi++ {
+		ps[fi+1] += ps[fi]
+	}
+	e.postRows = growI32(e.postRows, ps[nf])
+	e.postFill = growInt(e.postFill, nf)
+	copy(e.postFill, ps[:nf])
+	for g := range e.groups {
+		grp := &e.groups[g]
+		if len(grp.Dims) == 0 {
+			for _, fi := range grp.Facts {
+				out := e.postRows[e.postFill[fi]:ps[fi+1]]
+				for i := range out {
+					out[i] = int32(i)
 				}
-				e.postings[fi] = post
+				e.postFill[fi] = ps[fi+1]
 			}
 			continue
 		}
-		// Map value-code combination → fact index for this group.
-		radix := e.comboRadix(g.Dims)
-		byCombo := make(map[int64]int32, len(g.Facts))
-		for _, fi := range g.Facts {
-			byCombo[comboKey(e.facts[fi].Scope.Codes, radix)] = fi
-		}
+		rs := e.rowSlots[grp.slotsOff : grp.slotsOff+n]
 		for i := 0; i < n; i++ {
-			key := e.rowComboKey(e.view.Row(i), g.Dims, radix)
-			if fi, ok := byCombo[key]; ok {
-				e.postings[fi] = append(e.postings[fi], int32(i))
+			if fi := e.slotFact[grp.slotBase+int(rs[i])]; fi >= 0 {
+				e.postRows[e.postFill[fi]] = int32(i)
+				e.postFill[fi]++
 			}
 		}
 	}
-	for i := range e.postings {
-		e.JoinedRows += int64(len(e.postings[i]))
-	}
+	e.JoinedRows += int64(ps[nf])
+}
+
+// posting returns fact fi's slice of the CSR join output.
+func (e *Evaluator) posting(fi int) []int32 {
+	return e.postRows[e.postStart[fi]:e.postStart[fi+1]]
+}
+
+// PostingLen returns the number of view rows within scope of fact fi —
+// the size of that fact's slice of the materialized join R ⋊⋉M F.
+func (e *Evaluator) PostingLen(fi int) int {
+	return e.postStart[fi+1] - e.postStart[fi]
 }
 
 // NumRows returns the number of rows in the problem's view.
@@ -210,12 +492,13 @@ func (e *Evaluator) PriorError() float64 { return e.priorSum }
 func (e *Evaluator) SingleFactUtility(fi int) float64 {
 	v := e.facts[fi].Value
 	u := 0.0
-	for _, i := range e.postings[fi] {
+	post := e.posting(fi)
+	for _, i := range post {
 		if gain := e.priorDev[i] - math.Abs(v-e.truth[i]); gain > 0 {
 			u += gain
 		}
 	}
-	e.JoinedRows += int64(len(e.postings[fi]))
+	e.JoinedRows += int64(len(post))
 	return u
 }
 
@@ -228,28 +511,93 @@ func (e *Evaluator) SingleFactUtilities() []float64 {
 	return out
 }
 
+// singleFactUtilities is SingleFactUtilities into a reused buffer; the
+// result is valid until the next call.
+func (e *Evaluator) singleFactUtilities() []float64 {
+	e.utilsBuf = growF64(e.utilsBuf, len(e.facts))
+	for i := range e.facts {
+		e.utilsBuf[i] = e.SingleFactUtility(i)
+	}
+	return e.utilsBuf
+}
+
 // SpeechUtility computes the exact utility U(F*) of a fact-index set under
 // the Closest expectation model, touching only rows within scope of at
-// least one chosen fact (the final join of Algorithm 1).
+// least one chosen fact (the final join of Algorithm 1). The per-row
+// deviations live in an epoch-stamped dense scratch: bumping the epoch
+// invalidates the previous call's state without clearing or allocating.
 func (e *Evaluator) SpeechUtility(factIdx []int32) float64 {
-	seen := map[int32]float64{}
+	e.epoch++
+	ep := e.epoch
+	touched := e.touched[:0]
 	for _, fi := range factIdx {
 		v := e.facts[fi].Value
-		for _, i := range e.postings[fi] {
+		post := e.posting(int(fi))
+		for _, i := range post {
 			d := math.Abs(v - e.truth[i])
-			if cur, ok := seen[i]; !ok {
-				seen[i] = math.Min(d, e.priorDev[i])
-			} else if d < cur {
-				seen[i] = d
+			if e.stamp[i] != ep {
+				e.stamp[i] = ep
+				e.speechDev[i] = math.Min(d, e.priorDev[i])
+				touched = append(touched, i)
+			} else if d < e.speechDev[i] {
+				e.speechDev[i] = d
 			}
 		}
-		e.JoinedRows += int64(len(e.postings[fi]))
+		e.JoinedRows += int64(len(post))
 	}
 	u := 0.0
-	for i, dev := range seen {
-		u += e.priorDev[i] - dev
+	for _, i := range touched {
+		u += e.priorDev[i] - e.speechDev[i]
 	}
+	e.touched = touched[:0]
 	return u
+}
+
+// beginPath initializes the incremental speech-evaluation state used by
+// the exact algorithm's DFS: path deviations start at the prior and the
+// running utility at zero.
+func (e *Evaluator) beginPath() {
+	n := e.view.NumRows()
+	e.pathDev = growF64(e.pathDev, n)
+	copy(e.pathDev, e.priorDev[:n])
+	e.undoRow = e.undoRow[:0]
+	e.undoVal = e.undoVal[:0]
+	e.pathU = 0
+	e.pathPost = 0
+}
+
+// pushFact folds fact fi into the path state — O(|scope of fi|) — and
+// returns the undo-log mark for the matching popFact. Only rows whose
+// deviation improves are logged, so evaluating a leaf after the push is
+// free: e.pathU already is the speech utility.
+func (e *Evaluator) pushFact(fi int32) int {
+	mark := len(e.undoRow)
+	v := e.facts[fi].Value
+	post := e.posting(int(fi))
+	for _, i := range post {
+		if d := math.Abs(v - e.truth[i]); d < e.pathDev[i] {
+			e.undoRow = append(e.undoRow, i)
+			e.undoVal = append(e.undoVal, e.pathDev[i])
+			e.pathU += e.pathDev[i] - d
+			e.pathDev[i] = d
+		}
+	}
+	e.pathPost += int64(len(post))
+	return mark
+}
+
+// popFact rewinds the path state to mark. The caller passes back the
+// utility and join-size accounting saved before the matching pushFact, so
+// the restored values are exact — no floating-point drift accumulates
+// across sibling subtrees.
+func (e *Evaluator) popFact(mark int, savedU float64, savedPost int64) {
+	for k := len(e.undoRow) - 1; k >= mark; k-- {
+		e.pathDev[e.undoRow[k]] = e.undoVal[k]
+	}
+	e.undoRow = e.undoRow[:mark]
+	e.undoVal = e.undoVal[:mark]
+	e.pathU = savedU
+	e.pathPost = savedPost
 }
 
 // GreedyGain computes the marginal utility of adding fact fi to the
@@ -257,12 +605,13 @@ func (e *Evaluator) SpeechUtility(factIdx []int32) float64 {
 func (e *Evaluator) GreedyGain(fi int) float64 {
 	v := e.facts[fi].Value
 	gain := 0.0
-	for _, i := range e.postings[fi] {
+	post := e.posting(fi)
+	for _, i := range post {
 		if g := e.curDev[i] - math.Abs(v-e.truth[i]); g > 0 {
 			gain += g
 		}
 	}
-	e.JoinedRows += int64(len(e.postings[fi]))
+	e.JoinedRows += int64(len(post))
 	return gain
 }
 
@@ -270,12 +619,13 @@ func (e *Evaluator) GreedyGain(fi int) float64 {
 // Π_{E,R}(R ⋊⋉M f*) recomputation of Algorithm 2 Line 11.
 func (e *Evaluator) CommitFact(fi int) {
 	v := e.facts[fi].Value
-	for _, i := range e.postings[fi] {
+	post := e.posting(fi)
+	for _, i := range post {
 		if d := math.Abs(v - e.truth[i]); d < e.curDev[i] {
 			e.curDev[i] = d
 		}
 	}
-	e.JoinedRows += int64(len(e.postings[fi]))
+	e.JoinedRows += int64(len(post))
 }
 
 // ResetGreedy restores the expectation state to the prior, so the same
@@ -299,55 +649,91 @@ func (e *Evaluator) CurrentError() float64 {
 // combinations (Algorithm 3 Line 15). Adding a fact can at most reduce
 // the error within its scope to zero, so the summed current deviation
 // bounds the gain of any fact in the group and of all specializations.
+//
+// The group's per-row slots were resolved at build time (they are
+// invariant across greedy iterations), so each bound is one array scan
+// over the view into the shared dense accumulator — no radix rebuild, no
+// hashing, no allocation.
 func (e *Evaluator) GroupBound(g *FactGroup) float64 {
 	if len(g.Dims) == 0 {
 		return e.CurrentError()
 	}
-	radix := e.comboRadix(g.Dims)
 	n := e.view.NumRows()
-	stride := radix[len(radix)-1] * (int64(e.view.Rel.Dim(g.Dims[len(g.Dims)-1]).Cardinality()) + 1)
+	sums := e.boundSums[:g.numSlots]
+	for i := range sums {
+		sums[i] = 0
+	}
+	rs := e.rowSlots[g.slotsOff : g.slotsOff+n]
+	for i := 0; i < n; i++ {
+		sums[rs[i]] += e.curDev[i]
+	}
 	best := 0.0
-	if stride <= 1<<16 {
-		// Dense accumulation: a flat array is much cheaper than a map
-		// and keeps bound computation well below a utility scan's cost.
-		sums := make([]float64, stride)
-		for i := 0; i < n; i++ {
-			sums[e.rowComboKey(e.view.Row(i), g.Dims, radix)] += e.curDev[i]
-		}
-		for _, s := range sums {
-			if s > best {
-				best = s
-			}
-		}
-	} else {
-		sums := map[int64]float64{}
-		for i := 0; i < n; i++ {
-			sums[e.rowComboKey(e.view.Row(i), g.Dims, radix)] += e.curDev[i]
-		}
-		for _, s := range sums {
-			if s > best {
-				best = s
-			}
+	for _, s := range sums {
+		if s > best {
+			best = s
 		}
 	}
 	e.JoinedRows += int64(n)
 	return best
 }
 
-// sortFactsByUtility returns fact indices ordered by decreasing
-// single-fact utility with index tiebreak, the canonical order used by
-// the exact algorithm's permutation pruning.
-func sortFactsByUtility(utils []float64) []int32 {
-	idx := make([]int32, len(utils))
-	for i := range idx {
-		idx[i] = int32(i)
-	}
-	sort.Slice(idx, func(a, b int) bool {
-		ua, ub := utils[idx[a]], utils[idx[b]]
-		if ua != ub {
-			return ua > ub
+// chosenMarkScratch returns the cleared fact-chosen mark, reused across
+// greedy runs (profiling showed the old map[int32]bool dominating the
+// gain scan's skip check).
+func (e *Evaluator) chosenMarkScratch() []bool {
+	if cap(e.chosenMark) < len(e.facts) {
+		e.chosenMark = make([]bool, len(e.facts))
+	} else {
+		e.chosenMark = e.chosenMark[:len(e.facts)]
+		for i := range e.chosenMark {
+			e.chosenMark[i] = false
 		}
-		return idx[a] < idx[b]
-	})
-	return idx
+	}
+	return e.chosenMark
+}
+
+// aliveMarkScratch returns the group-alive mark set to true, reused
+// across greedy iterations.
+func (e *Evaluator) aliveMarkScratch() []bool {
+	if cap(e.aliveMark) < len(e.groups) {
+		e.aliveMark = make([]bool, len(e.groups))
+	} else {
+		e.aliveMark = e.aliveMark[:len(e.groups)]
+	}
+	for i := range e.aliveMark {
+		e.aliveMark[i] = true
+	}
+	return e.aliveMark
+}
+
+// utilOrderSorter orders fact indices by decreasing single-fact utility
+// with index tiebreak; a reusable sort.Interface so the exact algorithm's
+// canonical ordering allocates nothing.
+type utilOrderSorter struct {
+	idx   []int32
+	utils []float64
+}
+
+func (s *utilOrderSorter) Len() int { return len(s.idx) }
+func (s *utilOrderSorter) Less(a, b int) bool {
+	ua, ub := s.utils[s.idx[a]], s.utils[s.idx[b]]
+	if ua != ub {
+		return ua > ub
+	}
+	return s.idx[a] < s.idx[b]
+}
+func (s *utilOrderSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+// orderedFactsByUtility fills the evaluator's reusable order buffer with
+// fact indices in canonical decreasing-utility order, the order used by
+// the exact algorithm's permutation pruning.
+func (e *Evaluator) orderedFactsByUtility(utils []float64) []int32 {
+	e.orderBuf = growI32(e.orderBuf, len(utils))
+	for i := range e.orderBuf {
+		e.orderBuf[i] = int32(i)
+	}
+	e.sorter.idx, e.sorter.utils = e.orderBuf, utils
+	sort.Sort(&e.sorter)
+	e.sorter.idx, e.sorter.utils = nil, nil
+	return e.orderBuf
 }

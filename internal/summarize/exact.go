@@ -36,6 +36,13 @@ func Exact(e *Evaluator, opts Options) Summary {
 // computed, which only strengthens pruning and never sacrifices
 // optimality.
 //
+// Speech utilities are evaluated incrementally along the search path:
+// expanding a node folds one fact into the per-row deviation state
+// (O(|scope of that fact|) with an undo log), so a completed speech's
+// utility is already on hand instead of re-unioning the whole speech at
+// every leaf. The JoinedRows counter still charges each evaluated speech
+// the full join size of the paper's SQL formulation (see Evaluator).
+//
 // The run is bounded two ways: opts.Timeout and the context's deadline
 // both become the enumeration deadline (whichever is earlier), returning
 // the best speech found so far with Stats.TimedOut set; cancelling ctx
@@ -47,9 +54,9 @@ func ExactCtx(ctx context.Context, e *Evaluator, opts Options) Summary {
 	joined0 := e.JoinedRows
 	var stats RunStats
 
-	utils := e.SingleFactUtilities()
+	utils := e.singleFactUtilities()
 	stats.FactsEvaluated = len(utils)
-	order := sortFactsByUtility(utils)
+	order := e.orderedFactsByUtility(utils)
 
 	m := opts.MaxFacts
 	if m > len(order) {
@@ -68,8 +75,13 @@ func ExactCtx(ctx context.Context, e *Evaluator, opts Options) Summary {
 	}
 	watchCtx := ctx.Done() != nil
 
-	evaluate := func(chosen []int32) {
-		u := e.SpeechUtility(chosen)
+	e.beginPath()
+	chosen := make([]int32, 0, m)
+	evaluate := func() {
+		// The incremental path state already holds the utility of the
+		// chosen speech; charge the counter the speech's join size.
+		u := e.pathU
+		e.JoinedRows += e.pathPost
 		stats.SpeechesEvaluated++
 		if u > bestU {
 			bestU = u
@@ -84,7 +96,6 @@ func ExactCtx(ctx context.Context, e *Evaluator, opts Options) Summary {
 	// decreasing-utility order. pos indexes into order; sumU carries the
 	// upper bound S.U (sum of single-fact utilities of selected facts,
 	// Lemma 2).
-	var chosen []int32
 	var dfs func(pos int, sumU float64)
 	timedOut := false
 	cancelled := false
@@ -113,7 +124,7 @@ func ExactCtx(ctx context.Context, e *Evaluator, opts Options) Summary {
 			}
 		}
 		if len(chosen) == m {
-			evaluate(chosen)
+			evaluate()
 			return
 		}
 		extended := false
@@ -133,7 +144,10 @@ func ExactCtx(ctx context.Context, e *Evaluator, opts Options) Summary {
 			stats.NodesExpanded++
 			extended = true
 			chosen = append(chosen, fi)
+			savedU, savedPost := e.pathU, e.pathPost
+			mark := e.pushFact(fi)
 			dfs(i+1, sumU+u)
+			e.popFact(mark, savedU, savedPost)
 			chosen = chosen[:len(chosen)-1]
 			if timedOut || cancelled {
 				return
@@ -142,7 +156,7 @@ func ExactCtx(ctx context.Context, e *Evaluator, opts Options) Summary {
 		if !extended && len(chosen) > 0 {
 			// No admissible extension: the partial speech is itself a
 			// candidate ("up to m facts").
-			evaluate(chosen)
+			evaluate()
 		}
 	}
 	dfs(0, 0)

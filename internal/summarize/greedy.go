@@ -162,8 +162,8 @@ func GreedyCtx(ctx context.Context, e *Evaluator, opts Options) Summary {
 		p := OptPrune(e, opts)
 		plan = &p
 	}
-	var chosen []int32
-	chosenSet := make(map[int32]bool)
+	chosen := make([]int32, 0, opts.MaxFacts)
+	chosenSet := e.chosenMarkScratch()
 	for iter := 0; iter < opts.MaxFacts; iter++ {
 		if ctx.Err() != nil {
 			stats.Cancelled = true
@@ -204,8 +204,9 @@ func GreedyCtx(ctx context.Context, e *Evaluator, opts Options) Summary {
 // identical speeches (pruning only changes scan order, never the
 // argmax). A cancelled ctx aborts the scan (polled every ctxCheckEvery
 // fact evaluations) and sets stats.Cancelled; the partial argmax must
-// then be discarded by the caller.
-func selectBestFact(ctx context.Context, e *Evaluator, opts Options, plan *Plan, chosenSet map[int32]bool, stats *RunStats) (int32, float64) {
+// then be discarded by the caller. chosenSet is the evaluator's dense
+// already-chosen mark, indexed by fact id.
+func selectBestFact(ctx context.Context, e *Evaluator, opts Options, plan *Plan, chosenSet []bool, stats *RunStats) (int32, float64) {
 	best := int32(-1)
 	bestGain := 0.0
 	watchCtx := ctx.Done() != nil
@@ -252,10 +253,7 @@ func selectBestFact(ctx context.Context, e *Evaluator, opts Options, plan *Plan,
 	// Algorithm 3: source groups first, then bound-based target pruning,
 	// then whatever survives.
 	groups := e.Groups()
-	alive := make([]bool, len(groups))
-	for i := range alive {
-		alive[i] = true
-	}
+	alive := e.aliveMarkScratch()
 	for _, gi := range plan.Source {
 		if !scan(groups[gi].Facts) {
 			return best, bestGain

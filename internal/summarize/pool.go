@@ -1,0 +1,37 @@
+package summarize
+
+import (
+	"sync"
+
+	"cicero/internal/fact"
+	"cicero/internal/relation"
+)
+
+// evalPool recycles evaluators across problems. An evaluator retains
+// every internal buffer (CSR postings, group slots, epoch scratch, undo
+// log) between solves, so the generate→solve loop of the pre-processing
+// pipeline allocates almost nothing per problem after warm-up.
+var evalPool = sync.Pool{New: func() any { return new(Evaluator) }}
+
+// AcquireEvaluator returns a pooled evaluator rebuilt for the given
+// problem instance. It is the drop-in replacement for NewEvaluator in
+// solve loops; pair every acquire with a ReleaseEvaluator once the
+// returned Summary has been read (summaries do not reference evaluator
+// internals — fact indices and facts are copied out).
+func AcquireEvaluator(view *relation.View, target int, facts []fact.Fact, prior fact.Prior) *Evaluator {
+	e := evalPool.Get().(*Evaluator)
+	e.Reset(view, target, facts, prior)
+	return e
+}
+
+// ReleaseEvaluator returns an evaluator to the pool. The evaluator drops
+// its references to the problem's view, facts, and prior (so pooling
+// never pins a relation in memory) but keeps its scratch buffers for the
+// next AcquireEvaluator. The evaluator must not be used after release.
+func ReleaseEvaluator(e *Evaluator) {
+	if e == nil {
+		return
+	}
+	e.detach()
+	evalPool.Put(e)
+}

@@ -1,0 +1,102 @@
+package summarize
+
+import (
+	"sync"
+	"testing"
+)
+
+// solveAll runs every algorithm family on one evaluator and returns the
+// summaries in a fixed order: G-B, G-P, G-O, then greedy-seeded E.
+func solveAll(e *Evaluator, maxFacts int) []Summary {
+	var out []Summary
+	for _, mode := range []PruningMode{PruneNone, PruneNaive, PruneOptimized} {
+		out = append(out, Greedy(e, Options{MaxFacts: maxFacts, Pruning: mode}))
+	}
+	seed := Greedy(e, Options{MaxFacts: maxFacts})
+	out = append(out, Exact(e, Options{MaxFacts: maxFacts, LowerBound: seed.Utility}))
+	return out
+}
+
+func sameSummary(t *testing.T, name string, got, want Summary) {
+	t.Helper()
+	if got.Utility != want.Utility {
+		t.Errorf("%s: utility %v != %v", name, got.Utility, want.Utility)
+	}
+	if got.PriorError != want.PriorError {
+		t.Errorf("%s: prior error %v != %v", name, got.PriorError, want.PriorError)
+	}
+	if len(got.FactIdx) != len(want.FactIdx) {
+		t.Fatalf("%s: facts %v != %v", name, got.FactIdx, want.FactIdx)
+	}
+	for i := range want.FactIdx {
+		if got.FactIdx[i] != want.FactIdx[i] {
+			t.Fatalf("%s: facts %v != %v", name, got.FactIdx, want.FactIdx)
+		}
+	}
+	if countersOf(got.Stats) != countersOf(want.Stats) {
+		t.Errorf("%s: counters %+v != %+v", name, countersOf(got.Stats), countersOf(want.Stats))
+	}
+}
+
+// TestResetMatchesFresh drives one evaluator through the whole parity
+// sweep via Reset — problems grow and shrink in rows, facts, and groups
+// — and requires bit-identical outputs to a freshly built evaluator at
+// every step. This is the contract that makes pooling safe.
+func TestResetMatchesFresh(t *testing.T) {
+	var reused Evaluator
+	scenarios := parityScenarios()
+	// Run the sweep twice, the second pass in reverse order, so every
+	// grow/shrink transition between neighboring problem shapes occurs.
+	for pass := 0; pass < 2; pass++ {
+		for i := range scenarios {
+			sc := scenarios[i]
+			if pass == 1 {
+				sc = scenarios[len(scenarios)-1-i]
+			}
+			fresh := parityEval(sc)
+			reused.Reset(fresh.View(), fresh.Target(), fresh.Facts(), fresh.Prior())
+			if reused.JoinedRows != fresh.JoinedRows {
+				t.Errorf("%s: build JoinedRows %d != %d", sc.Name, reused.JoinedRows, fresh.JoinedRows)
+			}
+			gotAll := solveAll(&reused, sc.MaxFacts)
+			wantAll := solveAll(fresh, sc.MaxFacts)
+			names := []string{"G-B", "G-P", "G-O", "E"}
+			for j := range wantAll {
+				sameSummary(t, sc.Name+"/"+names[j], gotAll[j], wantAll[j])
+			}
+		}
+	}
+}
+
+// TestAcquireReleaseMatchesFresh exercises the pool API itself,
+// including concurrent acquire/solve/release cycles from many
+// goroutines (the pipeline's worker shape).
+func TestAcquireReleaseMatchesFresh(t *testing.T) {
+	scenarios := parityScenarios()
+	want := make([][]Summary, len(scenarios))
+	for i, sc := range scenarios {
+		want[i] = solveAll(parityEval(sc), sc.MaxFacts)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				for i, sc := range scenarios {
+					fresh := parityEval(sc)
+					e := AcquireEvaluator(fresh.View(), fresh.Target(), fresh.Facts(), fresh.Prior())
+					got := solveAll(e, sc.MaxFacts)
+					ReleaseEvaluator(e)
+					for j := range want[i] {
+						if got[j].Utility != want[i][j].Utility || len(got[j].FactIdx) != len(want[i][j].FactIdx) {
+							t.Errorf("%s: pooled result diverged", sc.Name)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -76,7 +76,7 @@ func TestEvaluatorPostings(t *testing.T) {
 		case 2:
 			want = 1
 		}
-		if got := len(e.postings[fi]); got != want {
+		if got := e.PostingLen(fi); got != want {
 			t.Errorf("fact %v posting size %d, want %d", f.Scope.Key(), got, want)
 		}
 	}
@@ -478,9 +478,10 @@ func TestOptPruneDeterministic(t *testing.T) {
 	}
 }
 
-func TestSortFactsByUtility(t *testing.T) {
+func TestOrderedFactsByUtility(t *testing.T) {
+	var e Evaluator
 	utils := []float64{1, 5, 3, 5, 2}
-	order := sortFactsByUtility(utils)
+	order := e.orderedFactsByUtility(utils)
 	wantOrder := []int32{1, 3, 2, 4, 0}
 	for i := range wantOrder {
 		if order[i] != wantOrder[i] {
