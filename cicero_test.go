@@ -1,9 +1,14 @@
 package cicero_test
 
 import (
+	"context"
+	"errors"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"cicero"
 	"cicero/internal/dataset"
@@ -191,5 +196,60 @@ func TestFacadeTypesInteroperateWithInternal(t *testing.T) {
 	var p cicero.Prior = cicero.ConstantPrior(3)
 	if p.At(0) != 3 {
 		t.Fatal("prior alias broken")
+	}
+}
+
+func TestPublicAPIHTTPTier(t *testing.T) {
+	rel := dataset.Flights(1200, 1)
+	cfg := cicero.DefaultConfig(rel)
+	cfg.Targets = []string{"delay"}
+	cfg.MaxQueryLen = 1
+	s := &cicero.Summarizer{Rel: rel, Config: cfg, Alg: cicero.AlgGreedyOpt,
+		Template: cicero.Template{Unit: "minutes"}}
+	store, _, err := s.Preprocess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := cicero.NewVoiceExtractor(rel, []cicero.VoiceSample{
+		{Phrase: "delays", Target: "delay"},
+	}, 1)
+	a := cicero.NewAnswerer(rel, store, ex, cicero.ServeOptions{})
+	srv := cicero.NewServer(a, cicero.HTTPOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The load harness drives the HTTP API end to end through the
+	// facade: generate a workload, replay it, read the report.
+	texts := cicero.GenerateLoad(rel, cicero.LoadOptions{
+		Requests: 120, Distinct: 12, Seed: 3,
+		TargetPhrases: map[string][]string{"delay": {"delays"}},
+	})
+	res := cicero.RunLoad(context.Background(), ts.Client(), ts.URL, texts, 4)
+	if res.Errors != 0 || res.Requests != 120 {
+		t.Fatalf("load result = %+v", res)
+	}
+	if res.HitRate <= 0 || res.Latency.P99 <= 0 {
+		t.Errorf("load report incomplete: %+v", res)
+	}
+	if res.ByKind["summary"] == 0 {
+		t.Errorf("no summaries served: %v", res.ByKind)
+	}
+	if snap := srv.Stats(); snap.Cache.Hits == 0 || snap.Routes["answer"].Requests != 120 {
+		t.Errorf("server stats = %+v", snap)
+	}
+
+	// Serve shuts down cleanly on ctx cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- cicero.Serve(ctx, "127.0.0.1:0", a, cicero.HTTPOptions{}) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not shut down")
 	}
 }

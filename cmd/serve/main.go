@@ -1,0 +1,214 @@
+// Command serve is the network daemon of the system: it pre-processes
+// a data set into a speech store and serves voice queries over HTTP —
+// POST /v1/answer (single or batch), GET /v1/healthz, GET /v1/stats —
+// through the caching, deduplicating, admission-controlled tier of
+// internal/httpserve. With -rebuild it re-runs pre-processing on an
+// interval and hot-swaps the fresh store in with zero downtime.
+//
+//	serve -data flights -addr :8080
+//	serve -data flights -addr :8080 -rebuild 10m
+//
+// With -loadgen it runs the load-generation harness instead: a mixed
+// zipf-skewed workload (summary/extremum/comparison/repeat) is replayed
+// against -target — or against an in-process server when -target is
+// empty — and the p50/p95/p99 latency, throughput, and cache hit rate
+// report is written to -out (BENCH_serve.json).
+//
+//	serve -data flights -loadgen -requests 5000 -load-workers 16 -zipf 1.3
+//	serve -loadgen -target http://summaries.internal:8080 -data flights
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"cicero/internal/dataset"
+	"cicero/internal/engine"
+	"cicero/internal/httpserve"
+	"cicero/internal/load"
+	"cicero/internal/pipeline"
+	"cicero/internal/relation"
+	"cicero/internal/serve"
+	"cicero/internal/voice"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		data    = flag.String("data", "flights", "data set: acs, stackoverflow, flights, primaries")
+		seed    = flag.Int64("seed", 1, "data generation seed")
+		maxLen  = flag.Int("maxlen", 2, "maximal supported query length")
+		solver  = flag.String("solver", string(engine.AlgGreedyOpt), "pre-processing solver")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "pre-processing workers")
+		rebuild = flag.Duration("rebuild", 0, "re-summarize and hot-swap on this interval (0 disables)")
+
+		cacheEntries = flag.Int("cache", 4096, "answer cache entries (negative disables)")
+		maxInFlight  = flag.Int("max-inflight", 256, "bound on concurrent kernel executions")
+		queueTimeout = flag.Duration("queue-timeout", 100*time.Millisecond, "admission queue timeout")
+
+		loadgen  = flag.Bool("loadgen", false, "run the load-generation harness instead of serving")
+		target   = flag.String("target", "", "loadgen target base URL (empty: in-process server)")
+		requests = flag.Int("requests", 2000, "loadgen request count")
+		loadWork = flag.Int("load-workers", 16, "loadgen client workers")
+		zipf     = flag.Float64("zipf", 1.3, "loadgen popularity skew (>1)")
+		distinct = flag.Int("distinct", 64, "loadgen distinct utterances per kind")
+		loadSeed = flag.Int64("load-seed", 42, "loadgen workload seed")
+		out      = flag.String("out", "BENCH_serve.json", "loadgen result artifact path")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	name := strings.ToLower(*data)
+	rel := dataset.ByName(name, *seed)
+	if rel == nil {
+		fatalf("unknown data set %q", *data)
+	}
+
+	loadOpts := load.Options{
+		Requests: *requests, Distinct: *distinct, Zipf: *zipf, Seed: *loadSeed,
+	}
+	// Replaying against a remote server needs only the relation (for
+	// workload synthesis), not the expensive local pre-processing.
+	if *loadgen && *target != "" {
+		runLoadgen(ctx, nil, rel, name, loadOpts, *target, *loadWork, *out)
+		return
+	}
+
+	cfg := engine.DefaultConfig(rel)
+	cfg.MaxQueryLen = *maxLen
+	pipeOpts := pipeline.Options{Solver: *solver, Workers: *workers}
+	build := func(ctx context.Context) (*engine.Store, error) {
+		store, _, err := pipeline.Run(ctx, rel, cfg, pipeOpts)
+		return store, err
+	}
+
+	fmt.Fprintf(os.Stderr, "pre-processing %s ...", rel.Name())
+	start := time.Now()
+	store, err := build(ctx)
+	if err != nil {
+		fatalf("pre-processing: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, " %d speeches in %v\n", store.Len(), time.Since(start).Round(time.Millisecond))
+
+	ex := voice.NewExtractor(rel, voice.DefaultSamples(name), *maxLen)
+	answerer := serve.New(rel, store, ex, serve.Options{})
+	srv := httpserve.New(answerer, httpserve.Options{
+		CacheEntries: *cacheEntries,
+		MaxInFlight:  *maxInFlight,
+		QueueTimeout: *queueTimeout,
+	})
+
+	if *loadgen {
+		runLoadgen(ctx, srv, rel, name, loadOpts, "", *loadWork, *out)
+		return
+	}
+	runDaemon(ctx, srv, *addr, *rebuild, build)
+}
+
+// runDaemon serves until the context is cancelled (SIGINT/SIGTERM),
+// then shuts down gracefully; the optional rebuild loop hot-swaps a
+// freshly pre-processed store on its interval with zero downtime.
+func runDaemon(ctx context.Context, srv *httpserve.Server, addr string, rebuild time.Duration, build func(context.Context) (*engine.Store, error)) {
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	if rebuild > 0 {
+		go func() {
+			ticker := time.NewTicker(rebuild)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+				}
+				start := time.Now()
+				old, err := srv.Rebuild(ctx, build)
+				if err != nil {
+					if ctx.Err() == nil {
+						fmt.Fprintf(os.Stderr, "rebuild failed (serving continues on the old store): %v\n", err)
+					}
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "rebuilt and hot-swapped in %v (%d -> %d speeches)\n",
+					time.Since(start).Round(time.Millisecond), old.Len(), srv.Stats().Store.Speeches)
+			}
+		}()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "serving on %s (POST /v1/answer, GET /v1/healthz, GET /v1/stats)\n", addr)
+
+	select {
+	case err := <-errc:
+		fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "shutting down ...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+	}
+}
+
+// runLoadgen replays a synthesized workload against target — or, when
+// target is empty, against srv on an in-process loopback listener —
+// and writes the BENCH_serve.json artifact. srv may be nil with a
+// non-empty target.
+func runLoadgen(ctx context.Context, srv *httpserve.Server, rel *relation.Relation, name string, opts load.Options, target string, workers int, out string) {
+	opts.TargetPhrases = voice.SpokenTargetPhrases(voice.DefaultSamples(name))
+	texts := load.Generate(rel, opts)
+	fmt.Fprintf(os.Stderr, "generated %d requests (%d distinct, zipf %.2f)\n",
+		len(texts), opts.Distinct, opts.Zipf)
+
+	if target == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatalf("loadgen listener: %v", err)
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go func() {
+			if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "loadgen server: %v\n", err)
+			}
+		}()
+		defer httpSrv.Close()
+		target = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "replaying against in-process server at %s\n", target)
+	}
+
+	res := load.Run(ctx, nil, target, texts, workers)
+	res.Zipf, res.Distinct = opts.Zipf, opts.Distinct
+	fmt.Print(res.Summary())
+	if out != "" {
+		if err := res.WriteFile(out); err != nil {
+			fatalf("write %s: %v", out, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	}
+	if res.Errors == res.Requests {
+		fatalf("every request failed against %s", target)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "serve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -35,42 +35,6 @@ import (
 	"cicero/internal/voice"
 )
 
-// samplesFor provides target-phrase training samples per data set, the
-// "few samples" the paper uses to train its extractor.
-func samplesFor(name string) []voice.Sample {
-	switch name {
-	case "flights":
-		return []voice.Sample{
-			{Phrase: "cancellations", Target: "cancelled"},
-			{Phrase: "cancellation probability", Target: "cancelled"},
-			{Phrase: "delays", Target: "delay"},
-			{Phrase: "flight delays", Target: "delay"},
-		}
-	case "acs":
-		return []voice.Sample{
-			{Phrase: "hearing loss", Target: "hearing"},
-			{Phrase: "visual impairment", Target: "visual"},
-			{Phrase: "visually impaired", Target: "visual"},
-			{Phrase: "cognitive impairment", Target: "cognitive"},
-		}
-	case "stackoverflow":
-		return []voice.Sample{
-			{Phrase: "job satisfaction", Target: "job_satisfaction"},
-			{Phrase: "optimism", Target: "optimism"},
-			{Phrase: "competence", Target: "competence"},
-			{Phrase: "salary", Target: "salary_k"},
-		}
-	case "primaries":
-		return []voice.Sample{
-			{Phrase: "polling", Target: "pct"},
-			{Phrase: "support", Target: "pct"},
-			{Phrase: "poll numbers", Target: "pct"},
-		}
-	default:
-		return nil
-	}
-}
-
 func main() {
 	var (
 		dataName  = flag.String("data", "flights", "data set: acs, stackoverflow, flights, primaries")
@@ -115,7 +79,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, " %d speeches in %v\n", stats.Speeches, time.Since(start).Round(time.Millisecond))
 
-	ex := voice.NewExtractor(rel, samplesFor(strings.ToLower(*dataName)), *maxLen)
+	ex := voice.NewExtractor(rel, voice.DefaultSamples(strings.ToLower(*dataName)), *maxLen)
 	answerer := serve.New(rel, store, ex, serve.Options{})
 
 	if *batchPath != "" {

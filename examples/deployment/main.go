@@ -1,24 +1,29 @@
-// Deployment runs the full pipeline of the paper's public deployment:
+// Deployment runs the paper's public deployment as a network service:
 // pre-process a flight-statistics data set through the streaming
-// pipeline, train the voice extractor, and replay a simulated request
-// log through the unified serving layer — reporting the same latency
-// split as Figure 10 against the sampling baseline that does all work at
-// query time. It then demonstrates periodic re-summarization: a richer
-// store is pre-processed in the background and hot-swapped into the live
-// answerer while a second request log is being served, with zero
-// downtime.
+// pipeline, train the voice extractor, and serve voice queries over
+// HTTP through the caching, deduplicating serving tier — then replay a
+// zipf-skewed mixed workload against it with the load harness,
+// reporting latency percentiles and the answer-cache hit rate. Finally
+// it demonstrates periodic re-summarization with zero downtime: while
+// one load run is in flight, a richer two-predicate store is
+// pre-processed in the background and hot-swapped into the live server,
+// invalidating the cache automatically — no request is dropped.
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"runtime"
 	"time"
 
 	"cicero"
-	"cicero/internal/baseline"
 	"cicero/internal/dataset"
 	"cicero/internal/engine"
+	"cicero/internal/httpserve"
+	"cicero/internal/load"
 	"cicero/internal/pipeline"
 	"cicero/internal/serve"
 	"cicero/internal/voice"
@@ -34,106 +39,89 @@ func main() {
 	cfg.Targets = []string{"cancelled"}
 	cfg.MaxQueryLen = 1
 	tmpl := engine.Template{TargetPhrase: "cancellation probability", Percent: true}
-	store, stats, err := pipeline.Run(ctx, rel, cfg, pipeline.Options{
-		Solver:   string(engine.AlgGreedyOpt),
-		Workers:  runtime.GOMAXPROCS(0),
-		Template: tmpl,
-	})
-	if err != nil {
-		panic(err)
-	}
-	fmt.Printf("pre-processed %d speeches in %v (%v per query; solve stage %v)\n\n",
-		stats.Speeches, stats.Elapsed.Round(time.Millisecond),
-		stats.PerQuery.Round(time.Microsecond), stats.Stages.Solve.Round(time.Millisecond))
-
-	// Voice front-end trained with a few samples, behind the serving
-	// layer's single entry point.
-	ex := cicero.NewVoiceExtractor(rel, []cicero.VoiceSample{
-		{Phrase: "cancellations", Target: "cancelled"},
-		{Phrase: "cancellation probability", Target: "cancelled"},
-	}, 2)
-	answerer := serve.New(rel, store, ex, serve.Options{})
-
-	// Replay a simulated request log with the paper's Table III mix.
-	dep := &voice.Deployment{
-		Name: "Flights", Rel: rel, Extractor: ex,
-		TargetPhrases: map[string][]string{"cancelled": {"cancellations"}},
-	}
-	log := dep.SimulateLog(voice.Table3Counts()["Flights"], 42)
-	texts := make([]string, len(log))
-	for i, entry := range log {
-		texts[i] = entry.Text
-	}
-
-	// Serve the whole log concurrently and report the percentiles.
-	res := answerer.AnswerBatch(texts, 8)
-	fmt.Printf("served %d requests (%d answered) at %.0f req/s\n",
-		len(texts), res.Answered, res.Throughput)
-	fmt.Printf("serving latency p50 %v  p95 %v  p99 %v\n\n",
-		res.Latency.P50, res.Latency.P95, res.Latency.P99)
-
-	var shown int
-	var lookupSum, baseTotalSum time.Duration
-	var compared int
-	for i, ans := range res.Answers {
-		if ans.Kind != serve.Summary {
-			continue
-		}
-		if shown < 3 {
-			fmt.Printf("Q: %q\nA: %s\n\n", texts[i], ans.Text)
-			shown++
-		}
-
-		// For comparison, answer the same query with the sampling
-		// baseline (all work at query time). Both sides are re-measured
-		// sequentially here — batch latencies include worker queuing —
-		// and both sums cover exactly the same queries, so the averages
-		// compare like with like.
-		ti, preds, err := ans.Query.Resolve(rel)
-		if err != nil {
-			continue
-		}
-		view := rel.FullView().Select(preds)
-		if view.NumRows() == 0 {
-			view = rel.FullView()
-		}
-		b := baseline.SamplingAnswer(view, ti, nil, baseline.SamplingOptions{MaxFacts: 3, Seed: 42})
-		lookupSum += answerer.AnswerQuery(ans.Query).Latency
-		baseTotalSum += b.Total
-		compared++
-	}
-	if compared > 0 {
-		fmt.Printf("answered %d supported queries\n", compared)
-		fmt.Printf("avg serving latency (ours):       %v\n", lookupSum/time.Duration(compared))
-		fmt.Printf("avg processing time (baseline):   %v\n\n", baseTotalSum/time.Duration(compared))
-	}
-
-	// Periodic re-summarization with zero downtime: while one goroutine
-	// keeps serving the log, Rebuild pre-processes a two-predicate store
-	// (the paper's production setting) and swaps it in atomically —
-	// in-flight answers finish on the old store, new ones see the richer
-	// coverage immediately.
-	fmt.Println("rebuilding with two-predicate coverage while serving ...")
-	servingDone := make(chan serve.BatchResult, 1)
-	go func() {
-		servingDone <- answerer.AnswerBatch(texts, 4)
-	}()
-	cfg2 := cfg
-	cfg2.MaxQueryLen = 2
-	old, err := answerer.Rebuild(ctx, func(ctx context.Context) (*engine.Store, error) {
-		next, _, err := pipeline.Run(ctx, rel, cfg2, pipeline.Options{
+	pipeOpts := func(maxLen int) (engine.Config, pipeline.Options) {
+		c := cfg
+		c.MaxQueryLen = maxLen
+		return c, pipeline.Options{
 			Solver:   string(engine.AlgGreedyOpt),
 			Workers:  runtime.GOMAXPROCS(0),
 			Template: tmpl,
-		})
+		}
+	}
+	c1, p1 := pipeOpts(1)
+	store, stats, err := pipeline.Run(ctx, rel, c1, p1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("pre-processed %d speeches in %v (%v per query)\n\n",
+		stats.Speeches, stats.Elapsed.Round(time.Millisecond), stats.PerQuery.Round(time.Microsecond))
+
+	// Voice front-end and the serving stack: Answerer behind the HTTP
+	// tier, listening on a loopback port.
+	samples := voice.DefaultSamples("flights")
+	ex := cicero.NewVoiceExtractor(rel, samples, 2)
+	answerer := serve.New(rel, store, ex, serve.Options{})
+	srv := httpserve.New(answerer, httpserve.Options{})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			panic(err)
+		}
+	}()
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s (POST /v1/answer, GET /v1/healthz, GET /v1/stats)\n\n", base)
+
+	// One spoken exchange over the wire.
+	res, err := srv.Answer(ctx, "cancellations in Winter?")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Q: %q\nA: %s\n\n", "cancellations in Winter?", res.Text)
+
+	// Replay a zipf-skewed mixed workload — summaries, extrema,
+	// comparisons, repeats — with concurrent HTTP clients.
+	loadOpts := load.Options{
+		Requests: 3000, Distinct: 48, Zipf: 1.3, Seed: 42,
+		TargetPhrases: voice.SpokenTargetPhrases(samples),
+	}
+	texts := load.Generate(rel, loadOpts)
+	report := load.Run(ctx, nil, base, texts, 12)
+	fmt.Print(report.Summary())
+	fmt.Println()
+
+	// Periodic re-summarization with zero downtime: while a second load
+	// run hammers the server, Rebuild pre-processes the two-predicate
+	// store (the paper's production setting) and hot-swaps it in. The
+	// answer cache invalidates automatically — post-swap answers come
+	// from the richer store, and not a single request fails.
+	fmt.Println("rebuilding with two-predicate coverage while serving ...")
+	servingDone := make(chan load.Result, 1)
+	go func() {
+		servingDone <- load.Run(ctx, nil, base, texts, 8)
+	}()
+	c2, p2 := pipeOpts(2)
+	old, err := srv.Rebuild(ctx, func(ctx context.Context) (*engine.Store, error) {
+		next, _, err := pipeline.Run(ctx, rel, c2, p2)
 		return next, err
 	})
 	if err != nil {
 		panic(err)
 	}
 	during := <-servingDone
-	fmt.Printf("served %d requests during the rebuild (p99 %v) — zero downtime\n",
-		len(texts), during.Latency.P99)
-	fmt.Printf("store swapped: %d speeches -> %d speeches\n",
+	fmt.Printf("served %d requests during the rebuild (p99 %v, %d errors) — zero downtime\n",
+		during.Requests, during.Latency.P99, during.Errors)
+	fmt.Printf("store swapped: %d speeches -> %d speeches\n\n",
 		old.Len(), answerer.Store().Len())
+
+	// The server's own metrics tell the same story.
+	snap := srv.Stats()
+	fmt.Printf("server stats: %d answers (p99 %v), cache hit rate %.1f%%, %d deduped, %d swaps\n",
+		snap.Routes["answer"].Requests, snap.Routes["answer"].Latency.P99,
+		100*snap.Cache.HitRate, snap.Deduped, snap.Store.Swaps)
 }

@@ -1,0 +1,77 @@
+package httpserve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"cicero/internal/serve"
+)
+
+// BenchmarkServeAnswer measures the serving tier's two paths through
+// Server.Answer: "miss" pays classification + store lookup on every
+// request (cache disabled), "hit" is the sharded-LRU fast path the
+// cache buys repeated queries. The acceptance bar is hit ≥ 10x faster
+// than miss.
+func BenchmarkServeAnswer(b *testing.B) {
+	rel := flightsRel()
+	store := buildFlightsStore(b, rel, 1, "cancellation probability")
+	a := serve.New(rel, store, flightsExtractor(rel), serve.Options{})
+	ctx := context.Background()
+	const text = "cancellations in Winter"
+
+	b.Run("miss", func(b *testing.B) {
+		s := New(a, Options{CacheEntries: -1})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Answer(ctx, text); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		s := New(a, Options{})
+		if _, err := s.Answer(ctx, text); err != nil { // prime
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := s.Answer(ctx, text)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Cached {
+				b.Fatal("hit benchmark missed the cache")
+			}
+		}
+	})
+}
+
+// BenchmarkServeAnswerParallel drives the cached path from all procs —
+// the shape heavy production traffic takes.
+func BenchmarkServeAnswerParallel(b *testing.B) {
+	rel := flightsRel()
+	store := buildFlightsStore(b, rel, 1, "cancellation probability")
+	a := serve.New(rel, store, flightsExtractor(rel), serve.Options{})
+	s := New(a, Options{})
+	ctx := context.Background()
+	texts := make([]string, 8)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("cancellations in Winter %d", i)
+	}
+	for _, t := range texts { // prime
+		if _, err := s.Answer(ctx, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := s.Answer(ctx, texts[i%len(texts)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}

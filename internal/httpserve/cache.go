@@ -1,0 +1,149 @@
+package httpserve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"cicero/internal/engine"
+	"cicero/internal/serve"
+)
+
+// The answer cache sits in front of the Answerer: every answer is a
+// deterministic function of (live store, canonicalized request text),
+// so one bounded LRU per shard can serve repeated requests without
+// touching the kernel. Entries are tagged with the identity of the
+// store they were computed against; a hot swap (SwapStore/Rebuild)
+// makes every old tag mismatch the live store, so stale answers can
+// never be served after a swap — even when the swap happens behind the
+// server's back, directly on the Answerer.
+
+// cacheEntry is one cached answer tagged with its store generation.
+type cacheEntry struct {
+	key   string
+	store *engine.Store
+	ans   serve.Answer
+}
+
+// cacheShard is an independently locked LRU segment.
+type cacheShard struct {
+	mu  sync.Mutex
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+	cap int
+}
+
+// answerCache is a sharded LRU keyed by canonicalized request text.
+type answerCache struct {
+	shards []cacheShard
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// newAnswerCache builds a cache holding roughly total entries across
+// the given number of shards (both floored to sane minimums).
+func newAnswerCache(total, shards int) *answerCache {
+	if shards < 1 {
+		shards = 1
+	}
+	perShard := (total + shards - 1) / shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &answerCache{shards: make([]cacheShard, shards)}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			ll:  list.New(),
+			m:   make(map[string]*list.Element, perShard),
+			cap: perShard,
+		}
+	}
+	return c
+}
+
+// fnv32a hashes the key for shard selection.
+func fnv32a(s string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func (c *answerCache) shard(key string) *cacheShard {
+	return &c.shards[fnv32a(key)%uint32(len(c.shards))]
+}
+
+// get returns the cached answer for key if one exists and was computed
+// against the given live store. An entry from an older store generation
+// is evicted on sight and reported as a miss.
+func (c *answerCache) get(key string, store *engine.Store) (serve.Answer, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		c.misses.Add(1)
+		return serve.Answer{}, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.store != store {
+		s.ll.Remove(el)
+		delete(s.m, key)
+		c.misses.Add(1)
+		return serve.Answer{}, false
+	}
+	s.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return ent.ans, true
+}
+
+// put stores an answer computed against the given store, evicting the
+// least recently used entry when the shard is full.
+func (c *answerCache) put(key string, store *engine.Store, ans serve.Answer) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.store, ent.ans = store, ans
+		s.ll.MoveToFront(el)
+		return
+	}
+	if s.ll.Len() >= s.cap {
+		oldest := s.ll.Back()
+		if oldest != nil {
+			s.ll.Remove(oldest)
+			delete(s.m, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, store: store, ans: ans})
+}
+
+// purge drops every entry, freeing memory promptly after a store swap.
+func (c *answerCache) purge() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.ll.Init()
+		clear(s.m)
+		s.mu.Unlock()
+	}
+}
+
+// len counts live entries across shards.
+func (c *answerCache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,520 @@
+// Package httpserve is the networked serving tier: it exposes the
+// in-process serving layer (serve.Answerer) over HTTP for the
+// many-clients deployment the ROADMAP targets, and adds the two layers
+// a network front end needs beyond the per-query kernel:
+//
+//   - a sharded LRU answer cache keyed by canonicalized request text.
+//     Answers are deterministic per (store, text), so repeats are served
+//     without touching the kernel; entries are tagged with the store
+//     generation they were computed against and therefore invalidate
+//     themselves the moment a hot swap (SwapStore/Rebuild) replaces the
+//     store — no stale answer can survive a swap;
+//   - singleflight deduplication, so a burst of identical cache-missing
+//     requests executes the kernel exactly once per store generation;
+//
+// plus admission control (a bounded in-flight limit with a queue
+// timeout, shedding load with 503 instead of collapsing) and per-route
+// latency/hit-rate metrics served on /v1/stats.
+//
+// Routes:
+//
+//	POST /v1/answer   {"text": "..."} or {"texts": ["...", ...]}
+//	GET  /v1/healthz  liveness + store size
+//	GET  /v1/stats    metrics snapshot
+package httpserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"cicero/internal/engine"
+	"cicero/internal/serve"
+	"cicero/internal/voice"
+)
+
+// Backend is the in-process serving surface the HTTP tier fronts.
+// *serve.Answerer is the production implementation; tests substitute
+// counting or blocking fakes.
+type Backend interface {
+	// Answer serves one raw voice request.
+	Answer(text string) serve.Answer
+	// Store returns the live speech store; its identity defines the
+	// cache and singleflight generation.
+	Store() *engine.Store
+}
+
+// Options tunes the HTTP serving tier. The zero value gives production
+// defaults.
+type Options struct {
+	// CacheEntries bounds the answer cache size across all shards
+	// (default 4096). Negative disables caching.
+	CacheEntries int
+	// CacheShards is the number of independently locked cache segments
+	// (default 16).
+	CacheShards int
+	// MaxInFlight bounds concurrent kernel executions (default 256).
+	MaxInFlight int
+	// QueueTimeout is how long an admitted request waits for an
+	// in-flight slot before being shed with 503 (default 100ms).
+	QueueTimeout time.Duration
+	// MaxBatch bounds the texts accepted by one batch request
+	// (default 256).
+	MaxBatch int
+	// MaxBodyBytes bounds the request body (default 1 MiB).
+	MaxBodyBytes int64
+	// LatencyWindow is the per-route latency sample window
+	// (default stats.DefaultLatencyWindow).
+	LatencyWindow int
+	// BatchWorkers bounds concurrent items within one batch request
+	// (default 8).
+	BatchWorkers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 4096
+	}
+	if o.CacheShards <= 0 {
+		o.CacheShards = 16
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 256
+	}
+	if o.QueueTimeout <= 0 {
+		o.QueueTimeout = 100 * time.Millisecond
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.BatchWorkers <= 0 {
+		o.BatchWorkers = 8
+	}
+	return o
+}
+
+// ErrOverloaded is returned (and mapped to 503) when admission control
+// sheds a request: every in-flight slot stayed busy for the whole queue
+// timeout.
+var ErrOverloaded = errors.New("httpserve: server overloaded")
+
+// Result is one served answer plus serving-tier metadata.
+type Result struct {
+	serve.Answer
+	// Cached reports an answer served from the cache without touching
+	// the kernel.
+	Cached bool
+	// Shared reports an answer obtained by joining another request's
+	// in-flight computation.
+	Shared bool
+}
+
+// Server is the HTTP serving tier over one Backend. Create with New
+// (production) or NewWithBackend (tests); it is safe for concurrent
+// use.
+type Server struct {
+	backend  Backend
+	answerer *serve.Answerer // non-nil iff backend is a *serve.Answerer
+	opts     Options
+	cache    *answerCache // nil when caching is disabled
+	flights  *flightGroup
+	sem      chan struct{}
+	started  time.Time
+	swaps    atomic.Uint64
+	rejected atomic.Uint64
+	mux      *http.ServeMux
+
+	mAnswer  *routeMetrics
+	mHealthz *routeMetrics
+	mStats   *routeMetrics
+}
+
+// New builds the HTTP tier over a production Answerer; the Server's
+// SwapStore/Rebuild delegate to it and purge the cache eagerly.
+func New(a *serve.Answerer, opts Options) *Server {
+	s := NewWithBackend(a, opts)
+	s.answerer = a
+	return s
+}
+
+// NewWithBackend builds the HTTP tier over any Backend. SwapStore and
+// Rebuild are unavailable (they need a *serve.Answerer), but cache
+// invalidation still tracks Store identity automatically.
+func NewWithBackend(b Backend, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		backend: b,
+		opts:    opts,
+		flights: newFlightGroup(),
+		sem:     make(chan struct{}, opts.MaxInFlight),
+		started: time.Now(),
+
+		mAnswer:  newRouteMetrics(opts.LatencyWindow),
+		mHealthz: newRouteMetrics(opts.LatencyWindow),
+		mStats:   newRouteMetrics(opts.LatencyWindow),
+	}
+	if opts.CacheEntries > 0 {
+		s.cache = newAnswerCache(opts.CacheEntries, opts.CacheShards)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/answer", s.handleAnswer)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the route multiplexer, ready for http.Server or
+// httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheKey canonicalizes request text into its cache/singleflight
+// identity: two phrasings normalize equal exactly when classification
+// treats them identically.
+func CacheKey(text string) string { return voice.Normalize(text) }
+
+// Answer serves one request through the full tier — cache, then
+// singleflight, then admission-controlled kernel execution. It is the
+// in-process entry point the HTTP handler wraps; Latency is always the
+// true serving time of this call, not a cached value.
+func (s *Server) Answer(ctx context.Context, text string) (Result, error) {
+	start := time.Now()
+	key := CacheKey(text)
+	store := s.backend.Store()
+	if s.cache != nil {
+		if ans, ok := s.cache.get(key, store); ok {
+			ans.Latency = time.Since(start)
+			return Result{Answer: ans, Cached: true}, nil
+		}
+	}
+	// The leader's admission wait is detached from its client's context:
+	// joiners share the flight's result, so a leader whose client
+	// disconnects must not poison them with a cancellation error. The
+	// wait stays bounded by the queue timeout, and the only shareable
+	// error is ErrOverloaded — a genuine system-wide condition. Joiners
+	// honor their own ctx inside do.
+	ans, shared, err := s.flights.do(ctx, flightKey{store: store, key: key}, func() (serve.Answer, error) {
+		if err := s.acquire(); err != nil {
+			return serve.Answer{}, err
+		}
+		defer func() { <-s.sem }()
+		ans := s.backend.Answer(text)
+		if s.cache != nil {
+			s.cache.put(key, store, ans)
+		}
+		return ans, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	ans.Latency = time.Since(start)
+	return Result{Answer: ans, Shared: shared}, nil
+}
+
+// acquire takes an in-flight slot, waiting at most the queue timeout;
+// Admission.Rejected counts exactly the requests shed here.
+func (s *Server) acquire() error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	timer := time.NewTimer(s.opts.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-timer.C:
+		s.rejected.Add(1)
+		return ErrOverloaded
+	}
+}
+
+// SwapStore swaps the live store on the underlying Answerer and purges
+// the cache eagerly (entries would self-invalidate by store identity
+// anyway; purging frees their memory now). Panics when the Server was
+// built over a custom Backend.
+func (s *Server) SwapStore(next *engine.Store) *engine.Store {
+	if s.answerer == nil {
+		panic("httpserve: SwapStore requires a *serve.Answerer backend")
+	}
+	old := s.answerer.SwapStore(next)
+	s.afterSwap()
+	return old
+}
+
+// Rebuild re-runs pre-processing through build and hot-swaps the result
+// in with zero downtime, purging the cache on success.
+func (s *Server) Rebuild(ctx context.Context, build func(context.Context) (*engine.Store, error)) (*engine.Store, error) {
+	if s.answerer == nil {
+		panic("httpserve: Rebuild requires a *serve.Answerer backend")
+	}
+	old, err := s.answerer.Rebuild(ctx, build)
+	if err != nil {
+		return nil, err
+	}
+	s.afterSwap()
+	return old, nil
+}
+
+func (s *Server) afterSwap() {
+	s.swaps.Add(1)
+	if s.cache != nil {
+		s.cache.purge()
+	}
+}
+
+// Stats snapshots the serving metrics (the GET /v1/stats payload).
+func (s *Server) Stats() StatsSnapshot {
+	snap := StatsSnapshot{
+		UptimeNS: time.Since(s.started),
+		Routes: map[string]RouteSnapshot{
+			"answer":  s.mAnswer.snapshot(),
+			"healthz": s.mHealthz.snapshot(),
+			"stats":   s.mStats.snapshot(),
+		},
+		Deduped: s.flights.shared.Load(),
+		Admission: AdmissionSnapshot{
+			MaxInFlight: s.opts.MaxInFlight,
+			InFlight:    len(s.sem),
+			Rejected:    s.rejected.Load(),
+		},
+		Store: StoreSnapshot{
+			Speeches: s.backend.Store().Len(),
+			Swaps:    s.swaps.Load(),
+		},
+	}
+	if s.cache != nil {
+		hits, misses := s.cache.hits.Load(), s.cache.misses.Load()
+		snap.Cache = CacheSnapshot{Hits: hits, Misses: misses, Entries: s.cache.len()}
+		if total := hits + misses; total > 0 {
+			snap.Cache.HitRate = float64(hits) / float64(total)
+		}
+	}
+	return snap
+}
+
+// Wire types of POST /v1/answer.
+
+// AnswerRequest is the request body: exactly one of Text or Texts.
+type AnswerRequest struct {
+	Text  string   `json:"text,omitempty"`
+	Texts []string `json:"texts,omitempty"`
+}
+
+// AnswerResponse is one served answer on the wire.
+type AnswerResponse struct {
+	Kind      string        `json:"kind"`
+	Request   string        `json:"request"`
+	Text      string        `json:"text"`
+	Answered  bool          `json:"answered"`
+	Cached    bool          `json:"cached"`
+	Shared    bool          `json:"shared,omitempty"`
+	Exact     bool          `json:"exact,omitempty"`
+	LatencyNS time.Duration `json:"latency_ns"`
+	Query     *engine.Query `json:"query,omitempty"`
+}
+
+// BatchResponse answers a Texts request, in input order.
+type BatchResponse struct {
+	Answers []AnswerResponse `json:"answers"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func toResponse(r Result) AnswerResponse {
+	resp := AnswerResponse{
+		Kind:      r.Kind.String(),
+		Request:   r.Request.String(),
+		Text:      r.Text,
+		Answered:  r.Answered,
+		Cached:    r.Cached,
+		Shared:    r.Shared,
+		Exact:     r.Exact,
+		LatencyNS: r.Latency,
+	}
+	if r.Query.Target != "" {
+		q := r.Query
+		resp.Query = &q
+	}
+	return resp
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// statusFor maps serving errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away or ran out of patience mid-queue.
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	failed := true
+	defer func() { s.mAnswer.observe(time.Since(start), failed) }()
+
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req AnswerRequest
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	switch {
+	case req.Text != "" && len(req.Texts) > 0:
+		writeError(w, http.StatusBadRequest, `"text" and "texts" are mutually exclusive`)
+		return
+	case req.Text == "" && len(req.Texts) == 0:
+		writeError(w, http.StatusBadRequest, `one of "text" or "texts" is required`)
+		return
+	case len(req.Texts) > s.opts.MaxBatch:
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds the %d-request limit", len(req.Texts), s.opts.MaxBatch))
+		return
+	}
+
+	if req.Text != "" {
+		res, err := s.Answer(r.Context(), req.Text)
+		if err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		failed = false
+		writeJSON(w, http.StatusOK, toResponse(res))
+		return
+	}
+
+	resp, err := s.answerBatch(r.Context(), req.Texts)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	failed = false
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// answerBatch serves a batch with bounded intra-request concurrency.
+// The first serving error fails the whole batch: partial results would
+// force clients to re-send anyway, and admission pressure applies to
+// every item equally.
+func (s *Server) answerBatch(ctx context.Context, texts []string) (BatchResponse, error) {
+	resp := BatchResponse{Answers: make([]AnswerResponse, len(texts))}
+	workers := s.opts.BatchWorkers
+	if workers > len(texts) {
+		workers = len(texts)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobs := make(chan int)
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				res, err := s.Answer(ctx, texts[i])
+				if err != nil {
+					errs <- err
+					cancel()
+					return
+				}
+				resp.Answers[i] = toResponse(res)
+			}
+			errs <- nil
+		}()
+	}
+feed:
+	for i := range texts {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return BatchResponse{}, firstErr
+	}
+	return resp, nil
+}
+
+// HealthResponse is the GET /v1/healthz payload.
+type HealthResponse struct {
+	Status   string        `json:"status"`
+	Speeches int           `json:"speeches"`
+	Swaps    uint64        `json:"swaps"`
+	UptimeNS time.Duration `json:"uptime_ns"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	failed := true
+	defer func() { s.mHealthz.observe(time.Since(start), failed) }()
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	failed = false
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Speeches: s.backend.Store().Len(),
+		Swaps:    s.swaps.Load(),
+		UptimeNS: time.Since(s.started),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	failed := true
+	defer func() { s.mStats.observe(time.Since(start), failed) }()
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	failed = false
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,419 @@
+// Package load is the load-generation harness for the HTTP serving
+// tier: it synthesizes a mixed voice-query workload over a relation —
+// summaries, extrema, comparisons, and repeat requests, with
+// configurable zipf popularity skew — replays it against a server with
+// N concurrent client workers, and reports client-side latency
+// percentiles, throughput, and the answer-cache hit rate. Results
+// marshal to the BENCH_serve.json artifact CI archives.
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cicero/internal/httpserve"
+	"cicero/internal/relation"
+	"cicero/internal/stats"
+)
+
+// Mix weighs the request kinds of a synthesized workload. Zero-valued
+// kinds are omitted; the zero Mix gets production-log-shaped defaults.
+type Mix struct {
+	Summary    int `json:"summary"`
+	Extremum   int `json:"extremum"`
+	Comparison int `json:"comparison"`
+	Repeat     int `json:"repeat"`
+}
+
+func (m Mix) total() int { return m.Summary + m.Extremum + m.Comparison + m.Repeat }
+
+// DefaultMix mirrors the deployment logs: summaries dominate, extrema
+// and comparisons are the common unsupported kinds, repeats trail.
+var DefaultMix = Mix{Summary: 70, Extremum: 12, Comparison: 10, Repeat: 8}
+
+// Options shapes workload generation.
+type Options struct {
+	// Requests is the total number of requests (default 1000).
+	Requests int
+	// Distinct bounds the pool of distinct utterances per kind
+	// (default 64): the knob that, with Zipf, controls how cacheable
+	// the workload is.
+	Distinct int
+	// Zipf is the popularity skew exponent s > 1 of the rank
+	// distribution over each pool (default 1.3); larger means a few
+	// hot queries dominate.
+	Zipf float64
+	// Seed makes generation deterministic.
+	Seed int64
+	// Mix weighs the request kinds (default DefaultMix).
+	Mix Mix
+	// TargetPhrases lists spoken names per target column (e.g.
+	// "cancellations" for "cancelled"); column names are used when
+	// empty.
+	TargetPhrases map[string][]string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Requests <= 0 {
+		o.Requests = 1000
+	}
+	if o.Distinct <= 0 {
+		o.Distinct = 64
+	}
+	if o.Zipf <= 1 {
+		o.Zipf = 1.3
+	}
+	if o.Mix.total() == 0 {
+		o.Mix = DefaultMix
+	}
+	return o
+}
+
+// Generate synthesizes the request texts of a mixed workload over rel.
+// Each kind draws from a bounded pool of distinct utterances with
+// zipf-distributed popularity, so replays exercise both the cache-hit
+// and the cache-miss path in controlled proportion.
+func Generate(rel *relation.Relation, opts Options) []string {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	pools := [][]string{
+		summaryPool(rel, rng, opts),
+		extremumPool(rel, rng, opts),
+		comparisonPool(rel, rng, opts),
+		{"repeat that", "say that again please", "come again", "once more please"},
+	}
+	weights := []int{opts.Mix.Summary, opts.Mix.Extremum, opts.Mix.Comparison, opts.Mix.Repeat}
+	// An empty pool contributes nothing; zero its weight so the sampler
+	// never spins on it (a relation can be too small for some kind).
+	total := 0
+	zipfs := make([]*rand.Zipf, len(pools))
+	for i, pool := range pools {
+		if len(pool) == 0 {
+			weights[i] = 0
+		}
+		if weights[i] > 0 {
+			zipfs[i] = rand.NewZipf(rng, opts.Zipf, 1, uint64(len(pool)-1))
+		}
+		total += weights[i]
+	}
+	if total == 0 {
+		return nil
+	}
+
+	texts := make([]string, 0, opts.Requests)
+	for len(texts) < opts.Requests {
+		k, pick := 0, rng.Intn(total)
+		for pick >= weights[k] {
+			pick -= weights[k]
+			k++
+		}
+		texts = append(texts, pools[k][zipfs[k].Uint64()])
+	}
+	return texts
+}
+
+// spokenTarget names a target column the way a user would say it.
+func spokenTarget(rng *rand.Rand, opts Options, target string) string {
+	if phrases := opts.TargetPhrases[target]; len(phrases) > 0 {
+		return phrases[rng.Intn(len(phrases))]
+	}
+	return strings.ReplaceAll(target, "_", " ")
+}
+
+// randomDimValue picks a random (dimension index, value).
+func randomDimValue(rel *relation.Relation, rng *rand.Rand) (int, string) {
+	for tries := 0; tries < 32; tries++ {
+		d := rng.Intn(rel.NumDims())
+		if vals := rel.Dim(d).Values(); len(vals) > 0 {
+			return d, vals[rng.Intn(len(vals))]
+		}
+	}
+	return -1, ""
+}
+
+func summaryPool(rel *relation.Relation, rng *rand.Rand, opts Options) []string {
+	forms := []string{"%s in %s", "what is the %s for %s", "tell me the %s for %s"}
+	pool := make([]string, 0, opts.Distinct)
+	seen := map[string]bool{}
+	targets := rel.Schema().Targets
+	// The attempt cap ends generation early when the relation's distinct
+	// utterance space is smaller than the requested pool.
+	for i := 0; len(pool) < opts.Distinct && i < opts.Distinct*8; i++ {
+		target := spokenTarget(rng, opts, targets[rng.Intn(len(targets))])
+		var text string
+		if rng.Intn(8) == 0 {
+			text = fmt.Sprintf("what is the average %s", target)
+		} else {
+			_, v := randomDimValue(rel, rng)
+			if v == "" {
+				break
+			}
+			text = fmt.Sprintf(forms[rng.Intn(len(forms))], target, v)
+		}
+		if !seen[text] {
+			seen[text] = true
+			pool = append(pool, text)
+		}
+	}
+	return pool
+}
+
+func extremumPool(rel *relation.Relation, rng *rand.Rand, opts Options) []string {
+	words := []string{"highest", "lowest", "most", "fewest", "largest", "smallest"}
+	pool := make([]string, 0, opts.Distinct)
+	seen := map[string]bool{}
+	targets := rel.Schema().Targets
+	dims := rel.Schema().Dimensions
+	for i := 0; len(pool) < opts.Distinct && i < opts.Distinct*8; i++ {
+		target := spokenTarget(rng, opts, targets[rng.Intn(len(targets))])
+		dim := strings.ReplaceAll(dims[rng.Intn(len(dims))], "_", " ")
+		text := fmt.Sprintf("which %s has the %s %s", dim, words[rng.Intn(len(words))], target)
+		if !seen[text] {
+			seen[text] = true
+			pool = append(pool, text)
+		}
+	}
+	return pool
+}
+
+func comparisonPool(rel *relation.Relation, rng *rand.Rand, opts Options) []string {
+	pool := make([]string, 0, opts.Distinct)
+	seen := map[string]bool{}
+	targets := rel.Schema().Targets
+	for i := 0; len(pool) < opts.Distinct && i < opts.Distinct*8; i++ {
+		target := spokenTarget(rng, opts, targets[rng.Intn(len(targets))])
+		d, v1 := randomDimValue(rel, rng)
+		if d < 0 {
+			break
+		}
+		vals := rel.Dim(d).Values()
+		if len(vals) < 2 {
+			continue
+		}
+		v2 := vals[rng.Intn(len(vals))]
+		if v2 == v1 {
+			continue
+		}
+		text := fmt.Sprintf("compare %s between %s and %s", target, v1, v2)
+		if !seen[text] {
+			seen[text] = true
+			pool = append(pool, text)
+		}
+	}
+	return pool
+}
+
+// LatencyReport is the client-observed latency split of one run.
+type LatencyReport struct {
+	P50  time.Duration `json:"p50_ns"`
+	P95  time.Duration `json:"p95_ns"`
+	P99  time.Duration `json:"p99_ns"`
+	Mean time.Duration `json:"mean_ns"`
+	Max  time.Duration `json:"max_ns"`
+}
+
+// Result is the outcome of one load run, JSON-shaped for
+// BENCH_serve.json.
+type Result struct {
+	Benchmark  string        `json:"benchmark"`
+	Target     string        `json:"target"`
+	Requests   int           `json:"requests"`
+	Workers    int           `json:"workers"`
+	Errors     int           `json:"errors"`
+	DurationNS time.Duration `json:"duration_ns"`
+	Throughput float64       `json:"throughput_rps"`
+	Latency    LatencyReport `json:"latency"`
+	// Cached counts answers the server served from its answer cache;
+	// HitRate is Cached over successful requests.
+	Cached  int     `json:"cached"`
+	HitRate float64 `json:"hit_rate"`
+	// Shared counts answers obtained by joining another request's
+	// in-flight computation (singleflight).
+	Shared int `json:"singleflight_shared"`
+	// ByKind tallies answers per serving kind.
+	ByKind map[string]int `json:"by_kind"`
+	// Zipf and Distinct echo the workload shape for reproducibility.
+	Zipf     float64 `json:"zipf"`
+	Distinct int     `json:"distinct"`
+}
+
+// Run replays texts against the server at baseURL with the given
+// number of concurrent workers, via POST /v1/answer single requests.
+// Per-request errors are counted, not fatal; transport-level failure of
+// every request surfaces as Errors == Requests.
+func Run(ctx context.Context, client *http.Client, baseURL string, texts []string, workers int) Result {
+	if workers < 1 {
+		workers = 1
+	}
+	if client == nil {
+		// http.DefaultClient keeps only two idle connections per host, so
+		// most workers would pay a TCP handshake per request and the
+		// report would measure connection churn instead of serving
+		// latency. Pool one connection per worker.
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = workers
+		client = &http.Client{Transport: tr}
+	}
+	url := strings.TrimRight(baseURL, "/") + "/v1/answer"
+
+	// Pre-mark every request failed: a request the feed loop never
+	// dispatches (ctx cancelled mid-run) must count as an error, not as
+	// a zero-latency success corrupting the percentiles.
+	outcomes := make([]outcome, len(texts))
+	for i := range outcomes {
+		outcomes[i].err = true
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				outcomes[i] = answerOnce(ctx, client, url, texts[i])
+			}
+		}()
+	}
+feed:
+	for i := range texts {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{
+		Benchmark:  "serve",
+		Target:     baseURL,
+		Requests:   len(texts),
+		Workers:    workers,
+		DurationNS: elapsed,
+		ByKind:     map[string]int{},
+	}
+	lats := make([]time.Duration, 0, len(texts))
+	var sum time.Duration
+	for _, o := range outcomes {
+		if o.err {
+			res.Errors++
+			continue
+		}
+		lats = append(lats, o.lat)
+		sum += o.lat
+		if o.lat > res.Latency.Max {
+			res.Latency.Max = o.lat
+		}
+		if o.cached {
+			res.Cached++
+		}
+		if o.shared {
+			res.Shared++
+		}
+		res.ByKind[o.kind]++
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		res.Latency.P50 = stats.PercentileDuration(lats, 0.50)
+		res.Latency.P95 = stats.PercentileDuration(lats, 0.95)
+		res.Latency.P99 = stats.PercentileDuration(lats, 0.99)
+		res.Latency.Mean = sum / time.Duration(len(lats))
+		res.HitRate = float64(res.Cached) / float64(len(lats))
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(len(texts)-res.Errors) / elapsed.Seconds()
+	}
+	return res
+}
+
+// outcome is one request's client-side observation.
+type outcome struct {
+	lat    time.Duration
+	kind   string
+	cached bool
+	shared bool
+	err    bool
+}
+
+// answerOnce sends one request and parses the serving metadata.
+func answerOnce(ctx context.Context, client *http.Client, url, text string) (o outcome) {
+	body, _ := json.Marshal(httpserve.AnswerRequest{Text: text})
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		o.err = true
+		return o
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		o.err = true
+		return o
+	}
+	defer resp.Body.Close()
+	var ans httpserve.AnswerResponse
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&ans) != nil {
+		io.Copy(io.Discard, resp.Body)
+		o.err = true
+		return o
+	}
+	o.lat = time.Since(start)
+	o.kind = ans.Kind
+	o.cached = ans.Cached
+	o.shared = ans.Shared
+	return o
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the result to path (the BENCH_serve.json artifact).
+func (r Result) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Summary renders a one-screen human report.
+func (r Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replayed %d requests with %d workers in %v (%.0f req/s, %d errors)\n",
+		r.Requests, r.Workers, r.DurationNS.Round(time.Millisecond), r.Throughput, r.Errors)
+	fmt.Fprintf(&b, "latency p50 %v  p95 %v  p99 %v  max %v\n",
+		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.Max)
+	fmt.Fprintf(&b, "cache hit rate %.1f%% (%d cached, %d singleflight-shared)\n",
+		100*r.HitRate, r.Cached, r.Shared)
+	kinds := make([]string, 0, len(r.ByKind))
+	for k := range r.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-12s %d\n", k, r.ByKind[k])
+	}
+	return b.String()
+}

@@ -264,7 +264,7 @@ func (a *Answerer) answerUnsupported(c voice.Classification, text string) Answer
 // extremumKind infers the requested direction from the utterance.
 func extremumKind(text string) engine.ExtremumKind {
 	norm := voice.Normalize(text)
-	for _, w := range []string{"lowest", "least", "minimum", "min", "fewest"} {
+	for _, w := range []string{"lowest", "least", "minimum", "min", "fewest", "smallest"} {
 		if strings.Contains(norm, w) {
 			return engine.Min
 		}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyRecorderEmpty(t *testing.T) {
+	r := NewLatencyRecorder(8)
+	snap := r.Snapshot()
+	if snap.Count != 0 || snap.Window != 0 || snap.P99 != 0 || snap.Mean != 0 {
+		t.Errorf("empty snapshot not zero: %+v", snap)
+	}
+}
+
+func TestLatencyRecorderPercentiles(t *testing.T) {
+	r := NewLatencyRecorder(1000)
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	snap := r.Snapshot()
+	if snap.Count != 100 || snap.Window != 100 {
+		t.Fatalf("count/window = %d/%d, want 100/100", snap.Count, snap.Window)
+	}
+	if snap.P50 != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", snap.P50)
+	}
+	if snap.P95 != 95*time.Millisecond {
+		t.Errorf("p95 = %v, want 95ms", snap.P95)
+	}
+	if snap.P99 != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", snap.P99)
+	}
+	if snap.Max != 100*time.Millisecond {
+		t.Errorf("max = %v, want 100ms", snap.Max)
+	}
+	if want := 50500 * time.Microsecond; snap.Mean != want {
+		t.Errorf("mean = %v, want %v", snap.Mean, want)
+	}
+}
+
+func TestLatencyRecorderWindowRotation(t *testing.T) {
+	r := NewLatencyRecorder(4)
+	for i := 1; i <= 10; i++ {
+		r.Record(time.Duration(i) * time.Second)
+	}
+	snap := r.Snapshot()
+	if snap.Count != 10 {
+		t.Errorf("count = %d, want 10", snap.Count)
+	}
+	if snap.Window != 4 {
+		t.Errorf("window = %d, want 4", snap.Window)
+	}
+	// Only the last four samples (7..10s) remain in the window.
+	if snap.P50 < 7*time.Second {
+		t.Errorf("p50 = %v includes rotated-out samples", snap.P50)
+	}
+	if snap.Max != 10*time.Second {
+		t.Errorf("max = %v, want 10s", snap.Max)
+	}
+}
+
+func TestLatencyRecorderConcurrent(t *testing.T) {
+	r := NewLatencyRecorder(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Count(); got != 4000 {
+		t.Errorf("count = %d, want 4000", got)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.2, 1}, {0.21, 2}, {0.5, 3}, {0.99, 5}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.q); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+	if got := PercentileDuration(nil, 0.5); got != 0 {
+		t.Errorf("empty duration percentile = %v, want 0", got)
+	}
+}

@@ -94,6 +94,7 @@ var (
 	extremumMarkers = []string{
 		"highest", "lowest", "most", "least", "best", "worst",
 		"maximum", "minimum", "max", "min", "top",
+		"fewest", "smallest", "largest", "greatest",
 	}
 )
 

@@ -1,0 +1,117 @@
+package voice
+
+import (
+	"strings"
+	"testing"
+)
+
+// This file hardens the voice path against phrasing edge cases: empty
+// and whitespace-only input, unicode, repeated keywords, and the
+// extremum synonym vocabulary the deployment logs use.
+
+func TestClassifyEdgeCases(t *testing.T) {
+	_, ex := flightsExtractor(t)
+	cases := []struct {
+		name string
+		text string
+		typ  RequestType
+		kind QueryKind
+	}{
+		{"empty", "", Other, Retrieval},
+		{"whitespace only", "   \t\n  ", Other, Retrieval},
+		{"punctuation only", "?!?...", Other, Retrieval},
+		{"repeated help keyword", "help help help", Help, Retrieval},
+		{"help inside sentence", "could you help me out here", Help, Retrieval},
+		{"repeat politely", "please repeat that once more", Repeat, Retrieval},
+		{"repeated query keywords", "cancellations cancellations cancellations", SQuery, Retrieval},
+		{"unicode around target", "¿cancellations en invierno? ✈️", SQuery, Retrieval},
+		{"cjk noise", "取消 cancellations 冬", SQuery, Retrieval},
+		{"combining accents", "cancellations in Wínter", SQuery, Retrieval},
+		{"extremum fewest", "which airline has the fewest cancellations", UQuery, Extremum},
+		{"extremum smallest", "smallest delay by airline", UQuery, Extremum},
+		{"extremum largest", "largest delay of all airlines", UQuery, Extremum},
+		{"extremum greatest", "greatest cancellations", UQuery, Extremum},
+		{"extremum classic", "which airline has the highest delay", UQuery, Extremum},
+		{"extremum no target", "what is the highest mountain", UQuery, Extremum},
+		{"comparison no target", "compare apples and oranges", UQuery, Comparison},
+		{"top boundary", "stop the music", Other, Retrieval},
+		{"min boundary", "mint tea please", Other, Retrieval},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Classify(c.text, ex)
+			if got.Type != c.typ {
+				t.Fatalf("Classify(%q).Type = %v, want %v", c.text, got.Type, c.typ)
+			}
+			if got.Type == UQuery && got.Kind != c.kind {
+				t.Errorf("Classify(%q).Kind = %v, want %v", c.text, got.Kind, c.kind)
+			}
+		})
+	}
+}
+
+func TestExtractEdgeCases(t *testing.T) {
+	rel, ex := flightsExtractor(t)
+	t.Run("empty", func(t *testing.T) {
+		if _, ok := ex.Extract(""); ok {
+			t.Error("Extract(\"\") recognized a target")
+		}
+	})
+	t.Run("unicode only", func(t *testing.T) {
+		if _, ok := ex.Extract("日本語のテキスト🎤"); ok {
+			t.Error("Extract(unicode noise) recognized a target")
+		}
+	})
+	t.Run("repeated value keeps one predicate per dimension", func(t *testing.T) {
+		q, ok := ex.Extract("cancellations in Winter Winter Winter")
+		if !ok {
+			t.Fatal("no target")
+		}
+		if len(q.Predicates) != 1 {
+			t.Fatalf("predicates = %v, want exactly one", q.Predicates)
+		}
+	})
+	t.Run("canonical order", func(t *testing.T) {
+		q, ok := ex.Extract("cancellations in Winter on UA")
+		if !ok {
+			t.Fatal("no target")
+		}
+		canon := q.Canonical()
+		if len(q.Predicates) != len(canon.Predicates) {
+			t.Fatalf("Extract result not canonical: %v vs %v", q, canon)
+		}
+		for i := range q.Predicates {
+			if q.Predicates[i] != canon.Predicates[i] {
+				t.Fatalf("Extract result not canonical: %v vs %v", q, canon)
+			}
+		}
+	})
+	t.Run("every predicate column is a schema dimension", func(t *testing.T) {
+		q, _ := ex.Extract("cancellations in Winter on UA in the Morning")
+		for _, p := range q.Predicates {
+			found := false
+			for _, d := range rel.Schema().Dimensions {
+				if d == p.Column {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("predicate column %q not in schema", p.Column)
+			}
+		}
+	})
+}
+
+func TestNormalizeIdempotentOnSamples(t *testing.T) {
+	samples := []string{
+		"", "Hello, World!", "  mixed   CASE  ", "ü ö ä ß", "émigré café",
+		"👍🏽 emoji", "tab\tand\nnewline", strings.Repeat("a b ", 100),
+		"\x00null\x00bytes", string([]byte{0xff, 0xfe, 'o', 'k'}),
+	}
+	for _, s := range samples {
+		once := Normalize(s)
+		if twice := Normalize(once); twice != once {
+			t.Errorf("Normalize not idempotent on %q: %q vs %q", s, once, twice)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package voice
+
+import (
+	"strings"
+	"testing"
+
+	"cicero/internal/dataset"
+)
+
+// Native fuzz targets for the voice path: every request passes through
+// Classify/Extract before any backend runs, so these prove the
+// front-end neither panics nor produces out-of-contract results on
+// arbitrary byte sequences (including invalid UTF-8).
+
+// fuzzSeeds is the shared corpus of adversarial phrasings.
+var fuzzSeeds = []string{
+	"",
+	" ",
+	"help",
+	"repeat that",
+	"cancellations in Winter",
+	"what is the delay for UA on Mon in the Evening",
+	"which airline has the fewest cancellations",
+	"compare cancellations between Winter and Summer",
+	"help help help repeat repeat",
+	"cancellations cancellations cancellations",
+	"¿cancelaciones? ✈️ 取消 冬 🎤",
+	"Wínter délay façade",
+	"\x00\x01\x02cancellations\xff\xfe",
+	string([]byte{0xc3, 0x28}),          // invalid UTF-8 sequence
+	strings.Repeat("winter ", 200),      // long repeated value
+	strings.Repeat("a", 4096),           // long single token
+	"min max top least most best worst", // marker pile-up
+	"smallest largest greatest fewest",  // extremum synonyms
+	"delay UA DL WN B6 AS NK F9",        // many same-dimension values
+	"cancellations Winter Spring Summer Fall Morning Night Mon Tue",
+}
+
+func fuzzExtractor(f *testing.F) *Extractor {
+	f.Helper()
+	rel := dataset.Flights(400, 1)
+	return NewExtractor(rel, []Sample{
+		{Phrase: "cancellations", Target: "cancelled"},
+		{Phrase: "cancellation probability", Target: "cancelled"},
+		{Phrase: "delays", Target: "delay"},
+	}, 2)
+}
+
+func FuzzClassify(f *testing.F) {
+	ex := fuzzExtractor(f)
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		c := Classify(text, ex)
+		switch c.Type {
+		case Help, Repeat, SQuery, UQuery, Other:
+		default:
+			t.Fatalf("Classify(%q) invalid type %d", text, int(c.Type))
+		}
+		switch c.Type {
+		case SQuery:
+			if c.Query.Target == "" {
+				t.Fatalf("Classify(%q) SQuery without target", text)
+			}
+			if c.Kind != Retrieval {
+				t.Fatalf("Classify(%q) SQuery with kind %v", text, c.Kind)
+			}
+			if len(c.Query.Predicates) > ex.MaxQueryLen() {
+				t.Fatalf("Classify(%q) SQuery with %d predicates over bound %d",
+					text, len(c.Query.Predicates), ex.MaxQueryLen())
+			}
+		case Help, Repeat, Other:
+			if c.Query.Target != "" || len(c.Query.Predicates) > 0 {
+				t.Fatalf("Classify(%q) conversational type carries query %v", text, c.Query)
+			}
+		}
+		if c.Type == SQuery || c.Type == UQuery {
+			if c.Predicates != len(c.Query.Predicates) {
+				t.Fatalf("Classify(%q) Predicates=%d but query has %d",
+					text, c.Predicates, len(c.Query.Predicates))
+			}
+		}
+	})
+}
+
+func FuzzExtract(f *testing.F) {
+	ex := fuzzExtractor(f)
+	rel := ex.rel
+	dims := rel.Schema().Dimensions
+	isTarget := map[string]bool{}
+	for _, t := range rel.Schema().Targets {
+		isTarget[t] = true
+	}
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		norm := Normalize(text)
+		if again := Normalize(norm); again != norm {
+			t.Fatalf("Normalize not idempotent on %q: %q vs %q", text, norm, again)
+		}
+
+		q, ok := ex.Extract(text)
+		if !ok {
+			if q.Target != "" || len(q.Predicates) > 0 {
+				t.Fatalf("Extract(%q) not-ok but non-empty query %v", text, q)
+			}
+		} else {
+			if !isTarget[q.Target] {
+				t.Fatalf("Extract(%q) unknown target %q", text, q.Target)
+			}
+			if len(q.Predicates) > len(dims) {
+				t.Fatalf("Extract(%q) %d predicates over %d dimensions", text, len(q.Predicates), len(dims))
+			}
+			seen := map[string]bool{}
+			for _, p := range q.Predicates {
+				if seen[p.Column] {
+					t.Fatalf("Extract(%q) duplicate predicate column %q", text, p.Column)
+				}
+				seen[p.Column] = true
+				if _, err := rel.PredicateByName(p.Column, p.Value); err != nil {
+					t.Fatalf("Extract(%q) unresolvable predicate %v: %v", text, p, err)
+				}
+			}
+		}
+
+		if dim, ok := ex.ExtractDimension(text); ok {
+			found := false
+			for _, d := range dims {
+				found = found || d == dim
+			}
+			if !found {
+				t.Fatalf("ExtractDimension(%q) unknown dimension %q", text, dim)
+			}
+		}
+		for _, p := range ex.ExtractValues(text) {
+			if _, err := rel.PredicateByName(p.Column, p.Value); err != nil {
+				t.Fatalf("ExtractValues(%q) unresolvable predicate %v: %v", text, p, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package voice
+
+// DefaultSamples returns the target-phrase training samples for one of
+// the built-in data sets (dataset.ByName names) — the "few samples" the
+// paper trains its Assistant extractor with. Unknown names return nil:
+// the extractor then knows the column names only.
+func DefaultSamples(dataset string) []Sample {
+	switch dataset {
+	case "flights":
+		return []Sample{
+			{Phrase: "cancellations", Target: "cancelled"},
+			{Phrase: "cancellation probability", Target: "cancelled"},
+			{Phrase: "delays", Target: "delay"},
+			{Phrase: "flight delays", Target: "delay"},
+		}
+	case "acs":
+		return []Sample{
+			{Phrase: "hearing loss", Target: "hearing"},
+			{Phrase: "visual impairment", Target: "visual"},
+			{Phrase: "visually impaired", Target: "visual"},
+			{Phrase: "cognitive impairment", Target: "cognitive"},
+		}
+	case "stackoverflow":
+		return []Sample{
+			{Phrase: "job satisfaction", Target: "job_satisfaction"},
+			{Phrase: "optimism", Target: "optimism"},
+			{Phrase: "competence", Target: "competence"},
+			{Phrase: "salary", Target: "salary_k"},
+		}
+	case "primaries":
+		return []Sample{
+			{Phrase: "polling", Target: "pct"},
+			{Phrase: "support", Target: "pct"},
+			{Phrase: "poll numbers", Target: "pct"},
+		}
+	default:
+		return nil
+	}
+}
+
+// SpokenTargetPhrases groups sample phrases by target column — the
+// spoken vocabulary workload generators draw from when synthesizing
+// utterances about a data set.
+func SpokenTargetPhrases(samples []Sample) map[string][]string {
+	out := make(map[string][]string, len(samples))
+	for _, s := range samples {
+		out[s.Target] = append(out[s.Target], s.Phrase)
+	}
+	return out
+}
