@@ -1,12 +1,21 @@
-// Command serve is the network daemon of the system: it pre-processes
-// a data set into a speech store and serves voice queries over HTTP —
-// POST /v1/answer (single or batch), GET /v1/healthz, GET /v1/stats —
-// through the caching, deduplicating, admission-controlled tier of
-// internal/httpserve. With -rebuild it re-runs pre-processing on an
-// interval and hot-swaps the fresh store in with zero downtime.
+// Command serve is the network daemon of the system: it mounts one or
+// more pre-processed data sets behind a dataset registry and serves
+// voice queries over HTTP — POST /v1/{dataset}/answer (single or
+// batch), GET /v1/datasets, GET /v1/{dataset}/stats, plus the legacy
+// default-dataset routes /v1/answer, /v1/healthz, /v1/stats — through
+// the caching, deduplicating, admission-controlled tier of
+// internal/httpserve.
+//
+// With -snapshot-dir the daemon cold-starts each dataset from its
+// binary snapshot (internal/snapshot) in milliseconds when one exists,
+// falling back to a full re-summarization — after which it writes the
+// snapshot so the next boot is fast. With -rebuild it re-runs
+// pre-processing per dataset on an interval, hot-swaps the fresh store
+// in with zero downtime, and refreshes the snapshot artifact.
 //
 //	serve -data flights -addr :8080
-//	serve -data flights -addr :8080 -rebuild 10m
+//	serve -datasets acs,flights -snapshot-dir snapshots -addr :8080
+//	serve -datasets acs,flights -snapshot-dir snapshots -rebuild 10m
 //
 // With -loadgen it runs the load-generation harness instead: a mixed
 // zipf-skewed workload (summary/extremum/comparison/repeat) is replayed
@@ -16,10 +25,17 @@
 //
 //	serve -data flights -loadgen -requests 5000 -load-workers 16 -zipf 1.3
 //	serve -loadgen -target http://summaries.internal:8080 -data flights
+//
+// With -snapshot-bench it measures the cold-start story instead of
+// serving: rebuild-from-raw time vs snapshot save + load time on the
+// first dataset, written as BENCH_snapshot.json.
+//
+//	serve -data acs -snapshot-bench BENCH_snapshot.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
@@ -39,18 +56,21 @@ import (
 	"cicero/internal/pipeline"
 	"cicero/internal/relation"
 	"cicero/internal/serve"
+	"cicero/internal/snapshot"
 	"cicero/internal/voice"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		data    = flag.String("data", "flights", "data set: acs, stackoverflow, flights, primaries")
-		seed    = flag.Int64("seed", 1, "data generation seed")
-		maxLen  = flag.Int("maxlen", 2, "maximal supported query length")
-		solver  = flag.String("solver", string(engine.AlgGreedyOpt), "pre-processing solver")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "pre-processing workers")
-		rebuild = flag.Duration("rebuild", 0, "re-summarize and hot-swap on this interval (0 disables)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		data     = flag.String("data", "flights", "single data set: acs, stackoverflow, flights, primaries")
+		datasets = flag.String("datasets", "", "comma-separated data sets to mount (overrides -data); the first is the default")
+		seed     = flag.Int64("seed", 1, "data generation seed")
+		maxLen   = flag.Int("maxlen", 2, "maximal supported query length")
+		solver   = flag.String("solver", string(engine.AlgGreedyOpt), "pre-processing solver")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "pre-processing workers")
+		rebuild  = flag.Duration("rebuild", 0, "re-summarize and hot-swap each dataset on this interval (0 disables)")
+		snapDir  = flag.String("snapshot-dir", "", "cold-start datasets from <dir>/<name>.snap and keep the snapshots fresh")
 
 		cacheEntries = flag.Int("cache", 4096, "answer cache entries (negative disables)")
 		maxInFlight  = flag.Int("max-inflight", 256, "bound on concurrent kernel executions")
@@ -64,63 +84,184 @@ func main() {
 		distinct = flag.Int("distinct", 64, "loadgen distinct utterances per kind")
 		loadSeed = flag.Int64("load-seed", 42, "loadgen workload seed")
 		out      = flag.String("out", "BENCH_serve.json", "loadgen result artifact path")
+
+		snapBench = flag.String("snapshot-bench", "", "measure rebuild vs snapshot cold start on the first dataset, write the report here, and exit")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	name := strings.ToLower(*data)
-	rel := dataset.ByName(name, *seed)
-	if rel == nil {
-		fatalf("unknown data set %q", *data)
+	names := datasetNames(*datasets, *data)
+	rels := make(map[string]*relation.Relation, len(names))
+	for _, name := range names {
+		rel := dataset.ByName(name, *seed)
+		if rel == nil {
+			fatalf("unknown data set %q", name)
+		}
+		rels[name] = rel
+	}
+	defName := names[0]
+
+	fingerprint := func(name string) string {
+		cfg := engine.DefaultConfig(rels[name])
+		cfg.MaxQueryLen = *maxLen
+		return pipeline.Fingerprint(*seed, cfg, *solver)
+	}
+	builder := func(name string) func(context.Context) (*engine.Store, error) {
+		rel := rels[name]
+		cfg := engine.DefaultConfig(rel)
+		cfg.MaxQueryLen = *maxLen
+		pipeOpts := pipeline.Options{Solver: *solver, Workers: *workers}
+		return func(ctx context.Context) (*engine.Store, error) {
+			store, _, err := pipeline.Run(ctx, rel, cfg, pipeOpts)
+			return store, err
+		}
+	}
+
+	if *snapBench != "" {
+		runSnapshotBench(ctx, rels[defName], builder(defName), *snapBench)
+		return
 	}
 
 	loadOpts := load.Options{
 		Requests: *requests, Distinct: *distinct, Zipf: *zipf, Seed: *loadSeed,
 	}
-	// Replaying against a remote server needs only the relation (for
-	// workload synthesis), not the expensive local pre-processing.
-	if *loadgen && *target != "" {
-		runLoadgen(ctx, nil, rel, name, loadOpts, *target, *loadWork, *out)
-		return
+	if *loadgen {
+		// Replaying against a remote server needs only the relation (for
+		// workload synthesis), not the expensive local pre-processing.
+		if *target != "" {
+			runLoadgen(ctx, nil, rels[defName], defName, loadOpts, *target, *loadWork, *out)
+			return
+		}
+		// The harness only ever replays against the default dataset, so
+		// mounting the rest would be wasted pre-processing.
+		names = names[:1]
 	}
 
-	cfg := engine.DefaultConfig(rel)
-	cfg.MaxQueryLen = *maxLen
-	pipeOpts := pipeline.Options{Solver: *solver, Workers: *workers}
-	build := func(ctx context.Context) (*engine.Store, error) {
-		store, _, err := pipeline.Run(ctx, rel, cfg, pipeOpts)
-		return store, err
+	// Mount every dataset: snapshot cold start when available, full
+	// pre-processing otherwise (writing the snapshot for the next boot).
+	reg := serve.NewRegistry()
+	for _, name := range names {
+		store, err := bootStore(ctx, name, rels[name], *snapDir, fingerprint(name), builder(name))
+		if err != nil {
+			fatalf("mounting %s: %v", name, err)
+		}
+		ex := voice.NewExtractor(rels[name], voice.DefaultSamples(name), *maxLen)
+		if err := reg.Add(name, serve.New(rels[name], store, ex, serve.Options{})); err != nil {
+			fatalf("registering %s: %v", name, err)
+		}
 	}
 
-	fmt.Fprintf(os.Stderr, "pre-processing %s ...", rel.Name())
-	start := time.Now()
-	store, err := build(ctx)
-	if err != nil {
-		fatalf("pre-processing: %v", err)
-	}
-	fmt.Fprintf(os.Stderr, " %d speeches in %v\n", store.Len(), time.Since(start).Round(time.Millisecond))
-
-	ex := voice.NewExtractor(rel, voice.DefaultSamples(name), *maxLen)
-	answerer := serve.New(rel, store, ex, serve.Options{})
-	srv := httpserve.New(answerer, httpserve.Options{
+	srv := httpserve.NewMulti(reg, defName, httpserve.Options{
 		CacheEntries: *cacheEntries,
 		MaxInFlight:  *maxInFlight,
 		QueueTimeout: *queueTimeout,
 	})
 
 	if *loadgen {
-		runLoadgen(ctx, srv, rel, name, loadOpts, "", *loadWork, *out)
+		runLoadgen(ctx, srv, rels[defName], defName, loadOpts, "", *loadWork, *out)
 		return
 	}
-	runDaemon(ctx, srv, *addr, *rebuild, build)
+	runDaemon(ctx, srv, *addr, *rebuild, names, rels, *snapDir, fingerprint, builder)
+}
+
+// datasetNames resolves the -datasets / -data flags into a non-empty,
+// deduplicated mount list; the first entry is the default dataset.
+func datasetNames(multi, single string) []string {
+	raw := strings.Split(multi, ",")
+	if multi == "" {
+		raw = []string{single}
+	}
+	var names []string
+	seen := map[string]bool{}
+	for _, n := range raw {
+		n = strings.ToLower(strings.TrimSpace(n))
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		fatalf("no data sets given")
+	}
+	return names
+}
+
+// snapPath names a dataset's snapshot artifact inside dir.
+func snapPath(dir, name string) string { return filepath.Join(dir, name+".snap") }
+
+// bootStore produces one dataset's store: loaded from its snapshot in
+// milliseconds when a valid one exists, otherwise pre-processed from
+// raw data (and snapshotted for the next boot when dir is set). A
+// corrupt, version-skewed, or mismatched snapshot is reported and
+// falls back to the rebuild — a bad artifact must never take the
+// daemon down. The snapshot's build fingerprint must match this
+// boot's flags (-seed/-maxlen/-solver): a structurally valid artifact
+// built under different parameters is stale, not servable.
+func bootStore(ctx context.Context, name string, rel *relation.Relation, dir, fingerprint string, build func(context.Context) (*engine.Store, error)) (*engine.Store, error) {
+	if dir != "" {
+		path := snapPath(dir, name)
+		start := time.Now()
+		store, err := loadVerified(path, rel, fingerprint)
+		switch {
+		case err == nil:
+			fmt.Fprintf(os.Stderr, "%s: cold start from %s — %d speeches in %v\n",
+				name, path, store.Len(), time.Since(start).Round(time.Microsecond))
+			return store, nil
+		case errors.Is(err, os.ErrNotExist):
+			// First boot: fall through to the rebuild.
+		default:
+			fmt.Fprintf(os.Stderr, "%s: snapshot %s rejected (%v); rebuilding from raw data\n", name, path, err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%s: pre-processing ...", name)
+	start := time.Now()
+	store, err := build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, " %d speeches in %v\n", store.Len(), time.Since(start).Round(time.Millisecond))
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := snapshot.WriteFileTagged(snapPath(dir, name), store, rel, fingerprint); err != nil {
+			return nil, fmt.Errorf("write snapshot: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: snapshot written to %s\n", name, snapPath(dir, name))
+	}
+	return store, nil
+}
+
+// loadVerified loads a snapshot only if its build fingerprint matches
+// what this process would build itself. The file is read and
+// checksummed once; Info and Decode share the bytes.
+func loadVerified(path string, rel *relation.Relation, fingerprint string) (*engine.Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := snapshot.Info(data)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("snapshot built with different parameters (%q, this boot wants %q)",
+			meta.Fingerprint, fingerprint)
+	}
+	return snapshot.Decode(data, rel)
 }
 
 // runDaemon serves until the context is cancelled (SIGINT/SIGTERM),
-// then shuts down gracefully; the optional rebuild loop hot-swaps a
-// freshly pre-processed store on its interval with zero downtime.
-func runDaemon(ctx context.Context, srv *httpserve.Server, addr string, rebuild time.Duration, build func(context.Context) (*engine.Store, error)) {
+// then shuts down gracefully; the optional rebuild loop re-processes
+// every dataset on its interval, hot-swaps each with zero downtime,
+// and refreshes the snapshot artifacts.
+func runDaemon(ctx context.Context, srv *httpserve.Server, addr string, rebuild time.Duration,
+	names []string, rels map[string]*relation.Relation, snapDir string,
+	fingerprint func(string) string,
+	builder func(string) func(context.Context) (*engine.Store, error)) {
 	httpSrv := &http.Server{
 		Addr:              addr,
 		Handler:           srv.Handler(),
@@ -137,23 +278,34 @@ func runDaemon(ctx context.Context, srv *httpserve.Server, addr string, rebuild 
 					return
 				case <-ticker.C:
 				}
-				start := time.Now()
-				old, err := srv.Rebuild(ctx, build)
-				if err != nil {
-					if ctx.Err() == nil {
-						fmt.Fprintf(os.Stderr, "rebuild failed (serving continues on the old store): %v\n", err)
+				for _, name := range names {
+					start := time.Now()
+					old, err := srv.RebuildFor(ctx, name, builder(name))
+					if err != nil {
+						if ctx.Err() == nil {
+							fmt.Fprintf(os.Stderr, "%s: rebuild failed (serving continues on the old store): %v\n", name, err)
+						}
+						continue
 					}
-					continue
+					stats, _ := srv.DatasetStats(name)
+					fmt.Fprintf(os.Stderr, "%s: rebuilt and hot-swapped in %v (%d -> %d speeches)\n",
+						name, time.Since(start).Round(time.Millisecond), old.Len(), stats.Speeches)
+					if snapDir != "" {
+						if a, ok := srv.DatasetAnswerer(name); ok {
+							if err := snapshot.WriteFileTagged(snapPath(snapDir, name), a.Store(), rels[name], fingerprint(name)); err != nil {
+								fmt.Fprintf(os.Stderr, "%s: snapshot refresh failed: %v\n", name, err)
+							}
+						}
+					}
 				}
-				fmt.Fprintf(os.Stderr, "rebuilt and hot-swapped in %v (%d -> %d speeches)\n",
-					time.Since(start).Round(time.Millisecond), old.Len(), srv.Stats().Store.Speeches)
 			}
 		}()
 	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "serving on %s (POST /v1/answer, GET /v1/healthz, GET /v1/stats)\n", addr)
+	fmt.Fprintf(os.Stderr, "serving %s on %s (POST /v1/{dataset}/answer, GET /v1/datasets, GET /v1/{dataset}/stats)\n",
+		strings.Join(names, ", "), addr)
 
 	select {
 	case err := <-errc:
@@ -168,10 +320,111 @@ func runDaemon(ctx context.Context, srv *httpserve.Server, addr string, rebuild 
 	}
 }
 
+// snapshotBenchResult is the BENCH_snapshot.json shape: the cold-start
+// comparison between re-summarizing a dataset from raw data and
+// loading its snapshot artifact.
+type snapshotBenchResult struct {
+	Benchmark     string        `json:"benchmark"`
+	Dataset       string        `json:"dataset"`
+	Speeches      int           `json:"speeches"`
+	SnapshotBytes int64         `json:"snapshot_bytes"`
+	RebuildNS     time.Duration `json:"rebuild_from_raw_ns"`
+	SaveNS        time.Duration `json:"snapshot_save_ns"`
+	ColdStartNS   time.Duration `json:"snapshot_load_ns"`
+	Speedup       float64       `json:"cold_start_speedup"`
+}
+
+// runSnapshotBench measures rebuild-from-raw vs snapshot cold start on
+// one dataset, verifies the loaded store answers identically, and
+// writes the report.
+func runSnapshotBench(ctx context.Context, rel *relation.Relation, build func(context.Context) (*engine.Store, error), out string) {
+	fmt.Fprintf(os.Stderr, "snapshot bench: pre-processing %s from raw data ...\n", rel.Name())
+	rebuildStart := time.Now()
+	store, err := build(ctx)
+	if err != nil {
+		fatalf("snapshot bench: %v", err)
+	}
+	rebuildTime := time.Since(rebuildStart)
+
+	dir, err := os.MkdirTemp("", "cicero-snap-bench-*")
+	if err != nil {
+		fatalf("snapshot bench: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, rel.Name()+".snap")
+
+	saveStart := time.Now()
+	if err := snapshot.WriteFile(path, store, rel); err != nil {
+		fatalf("snapshot bench: save: %v", err)
+	}
+	saveTime := time.Since(saveStart)
+
+	// Cold start: best of three loads (the artifact is in page cache
+	// either way on a freshly written file, matching a warm restart).
+	var loadTime time.Duration
+	var loaded *engine.Store
+	for i := 0; i < 3; i++ {
+		loadStart := time.Now()
+		loaded, err = snapshot.ReadFile(path, rel)
+		if err != nil {
+			fatalf("snapshot bench: load: %v", err)
+		}
+		if d := time.Since(loadStart); i == 0 || d < loadTime {
+			loadTime = d
+		}
+	}
+	if loaded.Len() != store.Len() {
+		fatalf("snapshot bench: loaded %d speeches, built %d", loaded.Len(), store.Len())
+	}
+	for i, sp := range store.Freeze().Speeches() {
+		got, ok := loaded.Exact(sp.Query)
+		if !ok || got.Text != sp.Text {
+			fatalf("snapshot bench: speech %d diverged after load", i)
+		}
+	}
+
+	info, err := snapshot.InfoFile(path)
+	if err != nil {
+		fatalf("snapshot bench: info: %v", err)
+	}
+	res := snapshotBenchResult{
+		Benchmark:     "snapshot_cold_start",
+		Dataset:       rel.Name(),
+		Speeches:      store.Len(),
+		SnapshotBytes: info.Size,
+		RebuildNS:     rebuildTime,
+		SaveNS:        saveTime,
+		ColdStartNS:   loadTime,
+	}
+	if loadTime > 0 {
+		res.Speedup = float64(rebuildTime) / float64(loadTime)
+	}
+	fmt.Printf("dataset:          %s (%d speeches, %d snapshot bytes)\n", res.Dataset, res.Speeches, res.SnapshotBytes)
+	fmt.Printf("rebuild from raw: %v\n", rebuildTime.Round(time.Millisecond))
+	fmt.Printf("snapshot save:    %v\n", saveTime.Round(time.Microsecond))
+	fmt.Printf("snapshot load:    %v (cold start)\n", loadTime.Round(time.Microsecond))
+	fmt.Printf("speedup:          %.0fx\n", res.Speedup)
+
+	f, err := os.Create(out)
+	if err != nil {
+		fatalf("snapshot bench: %v", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fatalf("snapshot bench: write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("snapshot bench: close: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+}
+
 // runLoadgen replays a synthesized workload against target — or, when
 // target is empty, against srv on an in-process loopback listener —
 // and writes the BENCH_serve.json artifact. srv may be nil with a
-// non-empty target.
+// non-empty target. The workload addresses the named dataset through
+// its per-dataset route.
 func runLoadgen(ctx context.Context, srv *httpserve.Server, rel *relation.Relation, name string, opts load.Options, target string, workers int, out string) {
 	opts.TargetPhrases = voice.SpokenTargetPhrases(voice.DefaultSamples(name))
 	texts := load.Generate(rel, opts)
@@ -194,7 +447,7 @@ func runLoadgen(ctx context.Context, srv *httpserve.Server, rel *relation.Relati
 		fmt.Fprintf(os.Stderr, "replaying against in-process server at %s\n", target)
 	}
 
-	res := load.Run(ctx, nil, target, texts, workers)
+	res := load.RunDataset(ctx, nil, target, name, texts, workers)
 	res.Zipf, res.Distinct = opts.Zipf, opts.Distinct
 	fmt.Print(res.Summary())
 	if out != "" {

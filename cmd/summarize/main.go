@@ -11,6 +11,8 @@
 //	summarize -csv data.csv -config config.json [-solver E]
 //	summarize -data acs -checkpoint acs.ckpt            # first attempt
 //	summarize -data acs -checkpoint acs.ckpt -resume    # after a ctrl-C
+//	summarize -data acs -snapshot-out snapshots/acs.snap
+//	  # emit the deployable binary artifact cmd/serve cold-starts from
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -26,6 +29,7 @@ import (
 	"cicero/internal/engine"
 	"cicero/internal/pipeline"
 	"cicero/internal/relation"
+	"cicero/internal/snapshot"
 	"cicero/internal/summarize"
 )
 
@@ -45,6 +49,7 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "checkpoint file: record completed problems for crash/cancel recovery")
 		resume     = flag.Bool("resume", false, "resume from an existing checkpoint instead of refusing to reuse it")
 		out        = flag.String("out", "", "write the speech store to this JSON file")
+		snapOut    = flag.String("snapshot-out", "", "write the speech store as a binary snapshot (the deployable artifact cmd/serve cold-starts from)")
 	)
 	flag.Parse()
 
@@ -65,6 +70,15 @@ func main() {
 		solverName = string(engine.AlgGreedyOpt)
 	}
 
+	// An unwritable snapshot destination must fail now, not after the
+	// whole batch has been summarized.
+	if *snapOut != "" {
+		if err := os.MkdirAll(filepath.Dir(*snapOut), 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "summarize: snapshot-out:", err)
+			os.Exit(1)
+		}
+	}
+
 	// ctrl-C cancels the batch; the pipeline returns within one
 	// problem's solve time and the checkpoint keeps completed problems.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -73,7 +87,11 @@ func main() {
 	opts := pipeline.Options{
 		Solver:  solverName,
 		Workers: *workers,
-		Solve:   summarize.Options{Timeout: *timeout},
+		// The fingerprint lets cmd/serve verify at boot that the
+		// artifact matches its own -seed/-maxlen/-solver flags.
+		SnapshotPath:        *snapOut,
+		SnapshotFingerprint: pipeline.Fingerprint(*seed, cfg, solverName),
+		Solve:               summarize.Options{Timeout: *timeout},
 		Progress: func(p pipeline.Progress) {
 			if p.Done%500 == 0 || p.Done == p.Total {
 				fmt.Fprintf(os.Stderr, "\rpre-processing %d/%d (failed %d, resumed %d)",
@@ -142,6 +160,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("store written:   %s\n", *out)
+	}
+	if *snapOut != "" {
+		// The pipeline already wrote it atomically; report its size.
+		if meta, err := snapshot.InfoFile(*snapOut); err == nil {
+			fmt.Printf("snapshot:        %s (%d bytes, %d speeches)\n", *snapOut, meta.Size, meta.Speeches)
+		}
 	}
 
 	if *show > 0 {

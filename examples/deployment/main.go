@@ -1,13 +1,15 @@
-// Deployment runs the paper's public deployment as a network service:
-// pre-process a flight-statistics data set through the streaming
-// pipeline, train the voice extractor, and serve voice queries over
-// HTTP through the caching, deduplicating serving tier — then replay a
-// zipf-skewed mixed workload against it with the load harness,
-// reporting latency percentiles and the answer-cache hit rate. Finally
-// it demonstrates periodic re-summarization with zero downtime: while
-// one load run is in flight, a richer two-predicate store is
-// pre-processed in the background and hot-swapped into the live server,
-// invalidating the cache automatically — no request is dropped.
+// Deployment runs the paper's public deployment as a multi-dataset
+// network service: two scenarios — flight cancellations and ACS
+// disability statistics — are pre-processed through the streaming
+// pipeline and mounted behind one dataset registry, served over HTTP
+// through the caching, deduplicating serving tier. The ACS store is
+// persisted as a binary snapshot and mounted through a lazy
+// snapshot-loading tenant, demonstrating the millisecond cold start a
+// restarted daemon gets. Zipf-skewed mixed workloads then hammer both
+// datasets concurrently while the flights store is re-summarized with
+// wider query coverage and hot-swapped in — the run asserts that not a
+// single request fails during the per-dataset swap and that the
+// untouched dataset keeps its warm cache.
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -25,44 +29,78 @@ import (
 	"cicero/internal/httpserve"
 	"cicero/internal/load"
 	"cicero/internal/pipeline"
+	"cicero/internal/relation"
 	"cicero/internal/serve"
 	"cicero/internal/voice"
 )
 
-func main() {
-	rel := dataset.Flights(8000, 1)
-	ctx := context.Background()
-
-	// Pre-processing through the streaming pipeline: speeches for every
-	// query with one predicate (the demo's fast tier; the paper uses 2).
+// preprocess runs the streaming pipeline for one dataset.
+func preprocess(ctx context.Context, rel *relation.Relation, targets []string, maxLen int, tmpl engine.Template) *engine.Store {
 	cfg := cicero.DefaultConfig(rel)
-	cfg.Targets = []string{"cancelled"}
-	cfg.MaxQueryLen = 1
-	tmpl := engine.Template{TargetPhrase: "cancellation probability", Percent: true}
-	pipeOpts := func(maxLen int) (engine.Config, pipeline.Options) {
-		c := cfg
-		c.MaxQueryLen = maxLen
-		return c, pipeline.Options{
-			Solver:   string(engine.AlgGreedyOpt),
-			Workers:  runtime.GOMAXPROCS(0),
-			Template: tmpl,
-		}
-	}
-	c1, p1 := pipeOpts(1)
-	store, stats, err := pipeline.Run(ctx, rel, c1, p1)
+	cfg.Targets = targets
+	cfg.MaxQueryLen = maxLen
+	store, stats, err := pipeline.Run(ctx, rel, cfg, pipeline.Options{
+		Solver:   string(engine.AlgGreedyOpt),
+		Workers:  runtime.GOMAXPROCS(0),
+		Template: tmpl,
+	})
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("pre-processed %d speeches in %v (%v per query)\n\n",
-		stats.Speeches, stats.Elapsed.Round(time.Millisecond), stats.PerQuery.Round(time.Microsecond))
+	fmt.Printf("pre-processed %s: %d speeches in %v (%v per query)\n",
+		rel.Name(), stats.Speeches, stats.Elapsed.Round(time.Millisecond), stats.PerQuery.Round(time.Microsecond))
+	return store
+}
 
-	// Voice front-end and the serving stack: Answerer behind the HTTP
-	// tier, listening on a loopback port.
-	samples := voice.DefaultSamples("flights")
-	ex := cicero.NewVoiceExtractor(rel, samples, 2)
-	answerer := serve.New(rel, store, ex, serve.Options{})
-	srv := httpserve.New(answerer, httpserve.Options{})
+func main() {
+	ctx := context.Background()
+	flightsRel := dataset.Flights(8000, 1)
+	acsRel := dataset.ACS(3000, 1)
+	flightsTmpl := engine.Template{TargetPhrase: "cancellation probability", Percent: true}
 
+	// ── Pre-processing: flights eagerly; ACS once, then persisted as a
+	// snapshot so it can mount through a lazy cold-starting loader.
+	flightsStore := preprocess(ctx, flightsRel, []string{"cancelled"}, 1, flightsTmpl)
+	acsStore := preprocess(ctx, acsRel, []string{"visual"}, 1,
+		engine.Template{TargetPhrase: "visual impairment rate"})
+
+	snapDir, err := os.MkdirTemp("", "cicero-deploy-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(snapDir)
+	acsSnap := filepath.Join(snapDir, "acs.snap")
+	if err := cicero.SaveSnapshot(acsSnap, acsStore, acsRel); err != nil {
+		panic(err)
+	}
+	info, err := cicero.SnapshotInfo(acsSnap)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("acs snapshot: %d bytes, %d speeches — the deployable artifact\n\n", info.Size, info.Speeches)
+
+	// ── The dataset registry: flights mounted eagerly, ACS through a
+	// lazy loader that cold-starts from the snapshot on first use.
+	flightsSamples := voice.DefaultSamples("flights")
+	reg := cicero.NewRegistry()
+	if err := reg.Add("flights", serve.New(flightsRel, flightsStore,
+		cicero.NewVoiceExtractor(flightsRel, flightsSamples, 2), serve.Options{})); err != nil {
+		panic(err)
+	}
+	if err := reg.Register("acs", func(context.Context) (*serve.Answerer, error) {
+		start := time.Now()
+		store, err := cicero.LoadSnapshot(acsSnap, acsRel)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("acs cold start from snapshot: %d speeches in %v\n", store.Len(), time.Since(start).Round(time.Microsecond))
+		ex := cicero.NewVoiceExtractor(acsRel, voice.DefaultSamples("acs"), 2)
+		return serve.New(acsRel, store, ex, serve.Options{}), nil
+	}); err != nil {
+		panic(err)
+	}
+
+	srv := httpserve.NewMulti(reg, "flights", httpserve.Options{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		panic(err)
@@ -75,53 +113,89 @@ func main() {
 	}()
 	defer httpSrv.Close()
 	base := "http://" + ln.Addr().String()
-	fmt.Printf("serving on %s (POST /v1/answer, GET /v1/healthz, GET /v1/stats)\n\n", base)
+	fmt.Printf("serving on %s (POST /v1/{dataset}/answer, GET /v1/datasets)\n\n", base)
 
-	// One spoken exchange over the wire.
-	res, err := srv.Answer(ctx, "cancellations in Winter?")
-	if err != nil {
-		panic(err)
+	// ── One spoken exchange per dataset; the ACS one triggers the lazy
+	// snapshot load.
+	for _, q := range []struct{ ds, text string }{
+		{"flights", "cancellations in Winter?"},
+		{"acs", "visual impairment for Elders"},
+	} {
+		res, err := srv.AnswerDataset(ctx, q.ds, q.text)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("[%s] Q: %q\nA: %s\n\n", q.ds, q.text, res.Text)
 	}
-	fmt.Printf("Q: %q\nA: %s\n\n", "cancellations in Winter?", res.Text)
 
-	// Replay a zipf-skewed mixed workload — summaries, extrema,
-	// comparisons, repeats — with concurrent HTTP clients.
-	loadOpts := load.Options{
-		Requests: 3000, Distinct: 48, Zipf: 1.3, Seed: 42,
-		TargetPhrases: voice.SpokenTargetPhrases(samples),
-	}
-	texts := load.Generate(rel, loadOpts)
-	report := load.Run(ctx, nil, base, texts, 12)
-	fmt.Print(report.Summary())
-	fmt.Println()
+	// ── Zipf-skewed mixed workloads against both datasets at once.
+	flightsTexts := load.Generate(flightsRel, load.Options{
+		Requests: 2500, Distinct: 48, Zipf: 1.3, Seed: 42,
+		TargetPhrases: voice.SpokenTargetPhrases(flightsSamples),
+	})
+	acsTexts := load.Generate(acsRel, load.Options{
+		Requests: 1500, Distinct: 32, Zipf: 1.3, Seed: 43,
+		TargetPhrases: voice.SpokenTargetPhrases(voice.DefaultSamples("acs")),
+	})
+	flightsRep := load.RunDataset(ctx, nil, base, "flights", flightsTexts, 12)
+	fmt.Printf("flights workload: %s", flightsRep.Summary())
+	acsRep := load.RunDataset(ctx, nil, base, "acs", acsTexts, 8)
+	fmt.Printf("acs workload:     %s\n", acsRep.Summary())
 
-	// Periodic re-summarization with zero downtime: while a second load
-	// run hammers the server, Rebuild pre-processes the two-predicate
-	// store (the paper's production setting) and hot-swaps it in. The
-	// answer cache invalidates automatically — post-swap answers come
-	// from the richer store, and not a single request fails.
-	fmt.Println("rebuilding with two-predicate coverage while serving ...")
-	servingDone := make(chan load.Result, 1)
-	go func() {
-		servingDone <- load.Run(ctx, nil, base, texts, 8)
-	}()
-	c2, p2 := pipeOpts(2)
-	old, err := srv.Rebuild(ctx, func(ctx context.Context) (*engine.Store, error) {
-		next, _, err := pipeline.Run(ctx, rel, c2, p2)
+	// ── Per-dataset hot swap under fire: while both datasets serve
+	// load, the flights store is rebuilt with two-predicate coverage
+	// (the paper's production setting) and swapped in. The ACS tenant
+	// is untouched: its cache must stay warm, and no request on either
+	// dataset may fail.
+	fmt.Println("rebuilding flights with two-predicate coverage while both datasets serve ...")
+	flightsDone := make(chan load.Result, 1)
+	acsDone := make(chan load.Result, 1)
+	go func() { flightsDone <- load.RunDataset(ctx, nil, base, "flights", flightsTexts, 8) }()
+	go func() { acsDone <- load.RunDataset(ctx, nil, base, "acs", acsTexts, 6) }()
+
+	cfg2 := cicero.DefaultConfig(flightsRel)
+	cfg2.Targets = []string{"cancelled"}
+	cfg2.MaxQueryLen = 2
+	old, err := srv.RebuildFor(ctx, "flights", func(ctx context.Context) (*engine.Store, error) {
+		next, _, err := pipeline.Run(ctx, flightsRel, cfg2, pipeline.Options{
+			Solver:   string(engine.AlgGreedyOpt),
+			Workers:  runtime.GOMAXPROCS(0),
+			Template: flightsTmpl,
+		})
 		return next, err
 	})
 	if err != nil {
 		panic(err)
 	}
-	during := <-servingDone
-	fmt.Printf("served %d requests during the rebuild (p99 %v, %d errors) — zero downtime\n",
-		during.Requests, during.Latency.P99, during.Errors)
-	fmt.Printf("store swapped: %d speeches -> %d speeches\n\n",
-		old.Len(), answerer.Store().Len())
+	flightsDuring, acsDuring := <-flightsDone, <-acsDone
 
-	// The server's own metrics tell the same story.
+	fmt.Printf("flights served %d requests during its swap (p99 %v, %d errors)\n",
+		flightsDuring.Requests, flightsDuring.Latency.P99, flightsDuring.Errors)
+	fmt.Printf("acs served %d requests during the flights swap (p99 %v, %d errors, %.1f%% cache hits)\n",
+		acsDuring.Requests, acsDuring.Latency.P99, acsDuring.Errors, 100*acsDuring.HitRate)
+	if flightsDuring.Errors != 0 || acsDuring.Errors != 0 {
+		panic(fmt.Sprintf("hot swap dropped requests: flights=%d acs=%d errors",
+			flightsDuring.Errors, acsDuring.Errors))
+	}
+	// Every ACS answer was cached by the earlier run; the flights swap
+	// must not have purged a single one of them.
+	if acsDuring.Cached != acsDuring.Requests {
+		panic(fmt.Sprintf("flights swap cooled the acs cache: %d/%d hits",
+			acsDuring.Cached, acsDuring.Requests))
+	}
+	fmt.Println("zero errors during the per-dataset hot swap, acs cache fully warm ✓")
+	flightsA, _ := srv.DatasetAnswerer("flights")
+	fmt.Printf("flights store swapped: %d speeches -> %d speeches\n\n", old.Len(), flightsA.Store().Len())
+
+	// ── The serving tier's own view of the deployment.
+	for _, d := range srv.Datasets() {
+		fmt.Printf("dataset %-8s loaded=%v speeches=%d default=%v\n", d.Name, d.Loaded, d.Speeches, d.Default)
+	}
 	snap := srv.Stats()
 	fmt.Printf("server stats: %d answers (p99 %v), cache hit rate %.1f%%, %d deduped, %d swaps\n",
 		snap.Routes["answer"].Requests, snap.Routes["answer"].Latency.P99,
 		100*snap.Cache.HitRate, snap.Deduped, snap.Store.Swaps)
+	for name, ds := range snap.Datasets {
+		fmt.Printf("  %-8s %d answers, %d swaps\n", name, ds.Answers.Requests, ds.Swaps)
+	}
 }

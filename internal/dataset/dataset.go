@@ -12,6 +12,10 @@
 // impairment prevalence, seniority-dependent job satisfaction — so that
 // summarization finds the same kinds of facts the paper reports. All
 // generators are deterministic in (rows, seed).
+//
+// These relations are the inputs the generate → evaluate → solve →
+// serve flow starts from; the serving daemon mounts any subset of them
+// as named datasets (cmd/serve -datasets).
 package dataset
 
 import (

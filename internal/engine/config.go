@@ -4,6 +4,14 @@
 // problem per query, the Speech Summarizer solves them in a
 // pre-processing batch, and the run-time store maps incoming queries to
 // the most specific pre-generated speech.
+//
+// It bookends the generate → evaluate → solve → serve flow: EachProblem
+// is the generate stage (streaming one problem per supported query),
+// Template.Render turns solved fact sets into speech text, and the
+// immutable index-backed Store is the serve stage's lookup structure —
+// answering by exact match or most-specific generalization in
+// near-constant time, persistable as JSON (Save/LoadStore) or as the
+// binary snapshot artifact of internal/snapshot.
 package engine
 
 import (

@@ -2,6 +2,12 @@
 // facts with scopes and typical values, speeches (fact sets), user
 // expectation models, priors, and the deviation/utility criterion that
 // speech summarization optimizes.
+//
+// In the system's generate → evaluate → solve → serve flow this package
+// is the shared vocabulary: the generate stage enumerates candidate
+// Facts (Generate), the evaluate and solve stages score Speeches by the
+// utility criterion defined here, and the stored speeches the serve
+// stage answers from carry these Facts as their provenance.
 package fact
 
 import (

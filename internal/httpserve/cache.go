@@ -12,17 +12,24 @@ import (
 // The answer cache sits in front of the Answerer: every answer is a
 // deterministic function of (live store, canonicalized request text),
 // so one bounded LRU per shard can serve repeated requests without
-// touching the kernel. Entries are tagged with the identity of the
-// store they were computed against; a hot swap (SwapStore/Rebuild)
-// makes every old tag mismatch the live store, so stale answers can
-// never be served after a swap — even when the swap happens behind the
-// server's back, directly on the Answerer.
+// touching the kernel. Keys carry the dataset name, so identical
+// texts against different datasets occupy distinct entries. Entries
+// are tagged with the identity of the store they were computed
+// against; a hot swap (SwapStore/Rebuild) makes every old tag
+// mismatch the live store, so stale answers can never be served after
+// a swap — even when the swap happens behind the server's back,
+// directly on the Answerer or the registry. The server's own swap
+// paths additionally purge the swapped dataset's entries eagerly
+// (purgeDataset), freeing their memory without disturbing the cache
+// of any other dataset.
 
-// cacheEntry is one cached answer tagged with its store generation.
+// cacheEntry is one cached answer tagged with its dataset and store
+// generation.
 type cacheEntry struct {
-	key   string
-	store *engine.Store
-	ans   serve.Answer
+	key     string
+	dataset string
+	store   *engine.Store
+	ans     serve.Answer
 }
 
 // cacheShard is an independently locked LRU segment.
@@ -103,15 +110,15 @@ func (c *answerCache) get(key string, store *engine.Store) (serve.Answer, bool) 
 	return ent.ans, true
 }
 
-// put stores an answer computed against the given store, evicting the
-// least recently used entry when the shard is full.
-func (c *answerCache) put(key string, store *engine.Store, ans serve.Answer) {
+// put stores an answer computed against the given dataset and store,
+// evicting the least recently used entry when the shard is full.
+func (c *answerCache) put(key, dataset string, store *engine.Store, ans serve.Answer) {
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.m[key]; ok {
 		ent := el.Value.(*cacheEntry)
-		ent.store, ent.ans = store, ans
+		ent.dataset, ent.store, ent.ans = dataset, store, ans
 		s.ll.MoveToFront(el)
 		return
 	}
@@ -122,16 +129,35 @@ func (c *answerCache) put(key string, store *engine.Store, ans serve.Answer) {
 			delete(s.m, oldest.Value.(*cacheEntry).key)
 		}
 	}
-	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, store: store, ans: ans})
+	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, dataset: dataset, store: store, ans: ans})
 }
 
-// purge drops every entry, freeing memory promptly after a store swap.
+// purge drops every entry across all datasets.
 func (c *answerCache) purge() {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
 		s.ll.Init()
 		clear(s.m)
+		s.mu.Unlock()
+	}
+}
+
+// purgeDataset drops exactly one dataset's entries, freeing their
+// memory promptly after that dataset's store swap while every other
+// dataset keeps its warm cache.
+func (c *answerCache) purgeDataset(dataset string) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; {
+			next := el.Next()
+			if ent := el.Value.(*cacheEntry); ent.dataset == dataset {
+				s.ll.Remove(el)
+				delete(s.m, ent.key)
+			}
+			el = next
+		}
 		s.mu.Unlock()
 	}
 }

@@ -62,18 +62,51 @@ type AdmissionSnapshot struct {
 	Rejected    uint64 `json:"rejected"`
 }
 
-// StoreSnapshot reports the live speech store.
+// StoreSnapshot reports the live speech stores in aggregate: Speeches
+// sums the stores of the Loaded (resident) datasets out of Datasets
+// mounted; Swaps counts hot-swaps across all datasets.
 type StoreSnapshot struct {
 	Speeches int    `json:"speeches"`
+	Datasets int    `json:"datasets,omitempty"`
+	Loaded   int    `json:"loaded,omitempty"`
 	Swaps    uint64 `json:"swaps"`
+}
+
+// datasetMetrics aggregates one dataset's serving traffic.
+type datasetMetrics struct {
+	answers *routeMetrics
+	swaps   atomic.Uint64
+}
+
+// DatasetInfo is one row of the GET /v1/datasets listing.
+type DatasetInfo struct {
+	Name string `json:"name"`
+	// Default marks the dataset the legacy /v1/answer route serves.
+	Default bool `json:"default,omitempty"`
+	// Loaded reports residency; a lazy dataset loads on first answer.
+	Loaded bool `json:"loaded"`
+	// Speeches is the live store size (0 when not loaded).
+	Speeches int `json:"speeches"`
+}
+
+// DatasetSnapshot is one dataset's metrics at a point in time (the
+// GET /v1/{dataset}/stats payload).
+type DatasetSnapshot struct {
+	Name     string        `json:"name"`
+	Default  bool          `json:"default,omitempty"`
+	Loaded   bool          `json:"loaded"`
+	Speeches int           `json:"speeches"`
+	Swaps    uint64        `json:"swaps"`
+	Answers  RouteSnapshot `json:"answers"`
 }
 
 // StatsSnapshot is the full GET /v1/stats payload.
 type StatsSnapshot struct {
-	UptimeNS  time.Duration            `json:"uptime_ns"`
-	Routes    map[string]RouteSnapshot `json:"routes"`
-	Cache     CacheSnapshot            `json:"cache"`
-	Deduped   uint64                   `json:"singleflight_shared"`
-	Admission AdmissionSnapshot        `json:"admission"`
-	Store     StoreSnapshot            `json:"store"`
+	UptimeNS  time.Duration              `json:"uptime_ns"`
+	Routes    map[string]RouteSnapshot   `json:"routes"`
+	Cache     CacheSnapshot              `json:"cache"`
+	Deduped   uint64                     `json:"singleflight_shared"`
+	Admission AdmissionSnapshot          `json:"admission"`
+	Store     StoreSnapshot              `json:"store"`
+	Datasets  map[string]DatasetSnapshot `json:"datasets,omitempty"`
 }

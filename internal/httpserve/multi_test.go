@@ -1,0 +1,436 @@
+package httpserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"cicero/internal/dataset"
+	"cicero/internal/engine"
+	"cicero/internal/relation"
+	"cicero/internal/serve"
+	"cicero/internal/voice"
+)
+
+// newACSAnswerer builds a small ACS answerer whose speeches answer
+// "hearing impairment" queries.
+func newACSAnswerer(t testing.TB) *serve.Answerer {
+	t.Helper()
+	rel := dataset.ACS(400, 1)
+	cfg := engine.DefaultConfig(rel)
+	cfg.Targets = []string{"hearing"}
+	cfg.MaxQueryLen = 1
+	s := &engine.Summarizer{Rel: rel, Config: cfg, Alg: engine.AlgGreedyOpt,
+		Template: engine.Template{TargetPhrase: "hearing impairment rate"}}
+	store, _, err := s.Preprocess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := voice.NewExtractor(rel, []voice.Sample{
+		{Phrase: "hearing impairment", Target: "hearing"},
+	}, cfg.MaxQueryLen)
+	return serve.New(rel, store, ex, serve.Options{})
+}
+
+func newFlightsAnswerer(t testing.TB, phrase string) (*serve.Answerer, *relation.Relation) {
+	t.Helper()
+	rel := flightsRel()
+	store := buildFlightsStore(t, rel, 1, phrase)
+	return serve.New(rel, store, flightsExtractor(rel), serve.Options{}), rel
+}
+
+// newMultiServer mounts acs (eager) and flights (eager) behind one
+// registry server with flights as the default.
+func newMultiServer(t testing.TB, opts Options) (*Server, *serve.Registry) {
+	t.Helper()
+	reg := serve.NewRegistry()
+	fl, _ := newFlightsAnswerer(t, "cancellation probability")
+	if err := reg.Add("flights", fl); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add("acs", newACSAnswerer(t)); err != nil {
+		t.Fatal(err)
+	}
+	return NewMulti(reg, "flights", opts), reg
+}
+
+func postTo(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func getFrom(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestMultiDatasetAnswerRoutes(t *testing.T) {
+	s, _ := newMultiServer(t, Options{})
+	h := s.Handler()
+
+	// Each dataset answers its own domain through its own route.
+	rec := postTo(t, h, "/v1/flights/answer", `{"text": "cancellations in Winter"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("flights answer status = %d, body %s", rec.Code, rec.Body)
+	}
+	fl := decodeAnswer(t, rec)
+	if fl.Kind != "summary" || !fl.Answered || !strings.Contains(fl.Text, "cancellation probability") {
+		t.Fatalf("flights answer = %+v", fl)
+	}
+
+	rec = postTo(t, h, "/v1/acs/answer", `{"text": "hearing impairment for Elders"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("acs answer status = %d, body %s", rec.Code, rec.Body)
+	}
+	acs := decodeAnswer(t, rec)
+	if acs.Kind != "summary" || !acs.Answered || !strings.Contains(acs.Text, "hearing impairment rate") {
+		t.Fatalf("acs answer = %+v", acs)
+	}
+
+	// The legacy route serves the default dataset (flights).
+	rec = postTo(t, h, "/v1/answer", `{"text": "cancellations in Winter"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("legacy answer status = %d", rec.Code)
+	}
+	if got := decodeAnswer(t, rec); got.Text != fl.Text {
+		t.Fatalf("legacy route served %q, want default dataset's %q", got.Text, fl.Text)
+	}
+
+	// Unknown datasets 404 on every per-dataset route.
+	for _, path := range []string{"/v1/nope/answer", "/v1/nope/stats", "/v1/nope/healthz"} {
+		var rec *httptest.ResponseRecorder
+		if strings.HasSuffix(path, "answer") {
+			rec = postTo(t, h, path, `{"text": "hi"}`)
+		} else {
+			rec = getFrom(t, h, path)
+		}
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("%s status = %d, want 404", path, rec.Code)
+		}
+	}
+
+	// Batch requests hit the addressed dataset.
+	rec = postTo(t, h, "/v1/acs/answer", `{"texts": ["hearing impairment for Adults", "help"]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("acs batch status = %d", rec.Code)
+	}
+	var batch BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Answers) != 2 || !strings.Contains(batch.Answers[0].Text, "hearing") {
+		t.Fatalf("acs batch = %+v", batch.Answers)
+	}
+}
+
+func TestMultiNoDefaultDataset(t *testing.T) {
+	reg := serve.NewRegistry()
+	fl, _ := newFlightsAnswerer(t, "cancellation probability")
+	if err := reg.Add("flights", fl); err != nil {
+		t.Fatal(err)
+	}
+	s := NewMulti(reg, "", Options{})
+	rec := postTo(t, s.Handler(), "/v1/answer", `{"text": "cancellations in Winter"}`)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("legacy route without default: status = %d, want 404", rec.Code)
+	}
+	if rec := postTo(t, s.Handler(), "/v1/flights/answer", `{"text": "cancellations in Winter"}`); rec.Code != http.StatusOK {
+		t.Fatalf("explicit route status = %d", rec.Code)
+	}
+}
+
+func TestMultiDatasetsListing(t *testing.T) {
+	s, reg := newMultiServer(t, Options{})
+	h := s.Handler()
+
+	rec := getFrom(t, h, "/v1/datasets")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("datasets status = %d", rec.Code)
+	}
+	var listing DatasetsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Datasets) != 2 {
+		t.Fatalf("listing = %+v, want 2 datasets", listing.Datasets)
+	}
+	byName := map[string]DatasetInfo{}
+	for _, d := range listing.Datasets {
+		byName[d.Name] = d
+	}
+	if !byName["acs"].Loaded || !byName["flights"].Loaded {
+		t.Fatalf("listing residency wrong: %+v", byName)
+	}
+	if !byName["flights"].Default || byName["acs"].Default {
+		t.Fatalf("default flag wrong: %+v", byName)
+	}
+	if byName["acs"].Speeches == 0 || byName["flights"].Speeches == 0 {
+		t.Fatalf("loaded datasets report zero speeches: %+v", byName)
+	}
+
+	// Evicting a dataset shows up in the listing without unloading the
+	// other; the evicted one reloads transparently on the next answer.
+	reg.Evict("acs")
+	rec = getFrom(t, h, "/v1/datasets")
+	if err := json.Unmarshal(rec.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range listing.Datasets {
+		if d.Name == "acs" && d.Loaded {
+			t.Fatal("acs still loaded after Evict")
+		}
+		if d.Name == "flights" && !d.Loaded {
+			t.Fatal("flights evicted collaterally")
+		}
+	}
+	if rec := postTo(t, h, "/v1/acs/answer", `{"text": "hearing impairment for Elders"}`); rec.Code != http.StatusOK {
+		t.Fatalf("evicted dataset did not reload: %d", rec.Code)
+	}
+}
+
+func TestMultiLazyLoad(t *testing.T) {
+	reg := serve.NewRegistry()
+	var loads atomic.Int32
+	if err := reg.Register("acs", func(context.Context) (*serve.Answerer, error) {
+		loads.Add(1)
+		return newACSAnswerer(t), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := NewMulti(reg, "acs", Options{})
+	h := s.Handler()
+
+	// Listings and stats must not trigger the load.
+	getFrom(t, h, "/v1/datasets")
+	getFrom(t, h, "/v1/acs/stats")
+	getFrom(t, h, "/v1/acs/healthz")
+	getFrom(t, h, "/v1/healthz")
+	if loads.Load() != 0 {
+		t.Fatalf("read-only routes loaded the dataset %d times", loads.Load())
+	}
+
+	rec := postTo(t, h, "/v1/acs/answer", `{"text": "hearing impairment for Elders"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("answer status = %d", rec.Code)
+	}
+	if loads.Load() != 1 {
+		t.Fatalf("first answer ran the loader %d times, want 1", loads.Load())
+	}
+
+	var snap DatasetSnapshot
+	rec = getFrom(t, h, "/v1/acs/stats")
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Loaded || snap.Speeches == 0 || snap.Answers.Requests == 0 {
+		t.Fatalf("post-load stats = %+v", snap)
+	}
+}
+
+// TestMultiCacheIsolation sends the same utterance to two datasets:
+// answers must differ, cache entries must not collide, and each
+// dataset's repeat must hit its own entry.
+func TestMultiCacheIsolation(t *testing.T) {
+	s, _ := newMultiServer(t, Options{})
+	ctx := context.Background()
+
+	// "help" is answerable by every dataset but with dataset-specific
+	// content (the help text lists the relation's columns).
+	flFirst, err := s.AnswerDataset(ctx, "flights", "help")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acsFirst, err := s.AnswerDataset(ctx, "acs", "help")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flFirst.Cached || acsFirst.Cached {
+		t.Fatal("first answers claim cached")
+	}
+	if flFirst.Text == acsFirst.Text {
+		t.Fatalf("help text identical across datasets: %q", flFirst.Text)
+	}
+
+	flHit, err := s.AnswerDataset(ctx, "flights", "help")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acsHit, err := s.AnswerDataset(ctx, "acs", "help")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flHit.Cached || !acsHit.Cached {
+		t.Fatalf("repeats not cached: flights=%v acs=%v", flHit.Cached, acsHit.Cached)
+	}
+	if flHit.Text != flFirst.Text || acsHit.Text != acsFirst.Text {
+		t.Fatal("cache served cross-dataset content")
+	}
+}
+
+// TestMultiSwapPurgesOnlyOneDataset hot-swaps one dataset's store and
+// verifies the other dataset's cache survives while the swapped one
+// serves fresh content immediately.
+func TestMultiSwapPurgesOnlyOneDataset(t *testing.T) {
+	s, _ := newMultiServer(t, Options{})
+	ctx := context.Background()
+	q := "cancellations in Winter"
+
+	before, err := s.AnswerDataset(ctx, "flights", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AnswerDataset(ctx, "acs", "help"); err != nil {
+		t.Fatal(err)
+	}
+	// Both cached now.
+	if hit, err := s.AnswerDataset(ctx, "flights", q); err != nil || !hit.Cached {
+		t.Fatalf("flights not cached before swap: %+v, %v", hit, err)
+	}
+
+	gen2 := buildFlightsStore(t, flightsRel(), 1, "chance of cancellation")
+	if _, err := s.SwapStoreFor(ctx, "flights", gen2); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := s.AnswerDataset(ctx, "flights", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cached {
+		t.Fatal("flights answer still cached after its swap")
+	}
+	if after.Text == before.Text || !strings.Contains(after.Text, "chance of cancellation") {
+		t.Fatalf("post-swap answer %q does not reflect the new store", after.Text)
+	}
+	// The untouched dataset kept its warm cache.
+	if hit, err := s.AnswerDataset(ctx, "acs", "help"); err != nil || !hit.Cached {
+		t.Fatalf("acs cache purged collaterally: %+v, %v", hit, err)
+	}
+
+	stats, err := s.DatasetStats("flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Swaps != 1 {
+		t.Fatalf("flights swaps = %d, want 1", stats.Swaps)
+	}
+	if other, _ := s.DatasetStats("acs"); other.Swaps != 0 {
+		t.Fatalf("acs swaps = %d, want 0", other.Swaps)
+	}
+	if _, err := s.DatasetStats("nope"); !errors.Is(err, serve.ErrUnknownDataset) {
+		t.Fatalf("DatasetStats(nope) err = %v", err)
+	}
+}
+
+// TestMultiRegistrySwapBehindServer swaps directly on the registry —
+// behind the server's back — and verifies store-identity tagging still
+// prevents stale answers.
+func TestMultiRegistrySwapBehindServer(t *testing.T) {
+	s, reg := newMultiServer(t, Options{})
+	ctx := context.Background()
+	q := "cancellations in Winter"
+
+	if _, err := s.AnswerDataset(ctx, "flights", q); err != nil {
+		t.Fatal(err)
+	}
+	if hit, err := s.AnswerDataset(ctx, "flights", q); err != nil || !hit.Cached {
+		t.Fatalf("not cached: %+v, %v", hit, err)
+	}
+
+	gen2 := buildFlightsStore(t, flightsRel(), 1, "chance of cancellation")
+	if _, err := reg.SwapStore(ctx, "flights", gen2); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.AnswerDataset(ctx, "flights", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cached || !strings.Contains(after.Text, "chance of cancellation") {
+		t.Fatalf("stale answer after behind-the-back swap: %+v", after)
+	}
+	// The registry's swap count surfaces in the dataset stats.
+	if stats, _ := s.DatasetStats("flights"); stats.Swaps != 1 {
+		t.Fatalf("swaps = %d, want 1 from registry view", stats.Swaps)
+	}
+}
+
+// TestMultiRebuildFor exercises the per-dataset rebuild path, including
+// the error case keeping the old store and cache.
+func TestMultiRebuildFor(t *testing.T) {
+	s, _ := newMultiServer(t, Options{})
+	ctx := context.Background()
+	q := "cancellations in Winter"
+
+	if _, err := s.AnswerDataset(ctx, "flights", q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RebuildFor(ctx, "flights", func(context.Context) (*engine.Store, error) {
+		return nil, fmt.Errorf("build exploded")
+	}); err == nil {
+		t.Fatal("failed rebuild reported success")
+	}
+	if hit, err := s.AnswerDataset(ctx, "flights", q); err != nil || !hit.Cached {
+		t.Fatalf("failed rebuild purged the cache: %+v, %v", hit, err)
+	}
+
+	gen2 := buildFlightsStore(t, flightsRel(), 1, "chance of cancellation")
+	if _, err := s.RebuildFor(ctx, "flights", func(context.Context) (*engine.Store, error) {
+		return gen2, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.AnswerDataset(ctx, "flights", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(after.Text, "chance of cancellation") {
+		t.Fatalf("rebuild did not take: %q", after.Text)
+	}
+}
+
+// TestMultiHealthzAggregates checks the global healthz sums loaded
+// stores and the per-dataset healthz reports one store.
+func TestMultiHealthzAggregates(t *testing.T) {
+	s, reg := newMultiServer(t, Options{})
+	h := s.Handler()
+
+	var health HealthResponse
+	rec := getFrom(t, h, "/v1/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status = %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Datasets != 2 || health.Loaded != 2 || health.Speeches == 0 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	acsStore, _ := reg.Peek("acs")
+	var one HealthResponse
+	rec = getFrom(t, h, "/v1/acs/healthz")
+	if err := json.Unmarshal(rec.Body.Bytes(), &one); err != nil {
+		t.Fatal(err)
+	}
+	if one.Speeches != acsStore.Store().Len() {
+		t.Fatalf("per-dataset healthz speeches = %d, want %d", one.Speeches, acsStore.Store().Len())
+	}
+
+	// Global stats carry the per-dataset map.
+	snap := s.Stats()
+	if len(snap.Datasets) != 2 || snap.Store.Datasets != 2 {
+		t.Fatalf("stats datasets = %+v", snap.Datasets)
+	}
+}

@@ -1,26 +1,35 @@
-// Package httpserve is the networked serving tier: it exposes the
-// in-process serving layer (serve.Answerer) over HTTP for the
-// many-clients deployment the ROADMAP targets, and adds the two layers
-// a network front end needs beyond the per-query kernel:
+// Package httpserve is the networked serving tier — the outer serve
+// layer of the paper's generate → evaluate → solve → serve flow: it
+// exposes the in-process serving layer (serve.Answerer, or a
+// serve.Registry hosting many named datasets) over HTTP for the
+// many-clients deployment the ROADMAP targets, and adds the layers a
+// network front end needs beyond the per-query kernel:
 //
-//   - a sharded LRU answer cache keyed by canonicalized request text.
-//     Answers are deterministic per (store, text), so repeats are served
-//     without touching the kernel; entries are tagged with the store
-//     generation they were computed against and therefore invalidate
-//     themselves the moment a hot swap (SwapStore/Rebuild) replaces the
-//     store — no stale answer can survive a swap;
-//   - singleflight deduplication, so a burst of identical cache-missing
-//     requests executes the kernel exactly once per store generation;
+//   - a sharded LRU answer cache keyed by (dataset, canonicalized
+//     request text). Answers are deterministic per (store, text), so
+//     repeats are served without touching the kernel; entries are
+//     tagged with the store generation they were computed against and
+//     therefore invalidate themselves the moment a hot swap
+//     (SwapStore/Rebuild) replaces the store — no stale answer can
+//     survive a swap, and a swap on one dataset never disturbs another
+//     dataset's entries;
+//   - singleflight deduplication, so a burst of identical
+//     cache-missing requests executes the kernel exactly once per
+//     (dataset, store generation);
 //
 // plus admission control (a bounded in-flight limit with a queue
 // timeout, shedding load with 503 instead of collapsing) and per-route
-// latency/hit-rate metrics served on /v1/stats.
+// and per-dataset latency/hit-rate metrics served on /v1/stats.
 //
 // Routes:
 //
-//	POST /v1/answer   {"text": "..."} or {"texts": ["...", ...]}
-//	GET  /v1/healthz  liveness + store size
-//	GET  /v1/stats    metrics snapshot
+//	POST /v1/answer             {"text": "..."} or {"texts": [...]} (default dataset)
+//	GET  /v1/healthz            liveness + aggregate store size
+//	GET  /v1/stats              metrics snapshot (incl. per-dataset)
+//	GET  /v1/datasets           mounted datasets with residency + size
+//	POST /v1/{dataset}/answer   answer against one named dataset
+//	GET  /v1/{dataset}/stats    one dataset's serving metrics
+//	GET  /v1/{dataset}/healthz  one dataset's liveness + store size
 package httpserve
 
 import (
@@ -29,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -46,6 +56,73 @@ type Backend interface {
 	// Store returns the live speech store; its identity defines the
 	// cache and singleflight generation.
 	Store() *engine.Store
+}
+
+// DefaultDataset is the dataset name a single-tenant server mounts its
+// backend under; the legacy /v1/answer route always resolves to the
+// server's default dataset.
+const DefaultDataset = "default"
+
+// tenantSet abstracts how the server resolves dataset names to
+// backends: a fixed single backend, or a serve.Registry with lazy
+// loading and eviction.
+type tenantSet interface {
+	// names lists the mounted dataset names, sorted.
+	names() []string
+	// has reports whether the dataset is mounted, without loading it.
+	has(name string) bool
+	// get resolves a dataset to its backend, loading it if necessary;
+	// unknown names fail with serve.ErrUnknownDataset.
+	get(ctx context.Context, name string) (Backend, error)
+	// peek returns the backend only if it is currently resident.
+	peek(name string) (Backend, bool)
+}
+
+// singleSet mounts one fixed backend under one name.
+type singleSet struct {
+	name string
+	b    Backend
+}
+
+func (s singleSet) names() []string { return []string{s.name} }
+
+func (s singleSet) has(name string) bool { return name == s.name }
+
+func (s singleSet) get(_ context.Context, name string) (Backend, error) {
+	if name != s.name {
+		return nil, fmt.Errorf("%w: %q", serve.ErrUnknownDataset, name)
+	}
+	return s.b, nil
+}
+
+func (s singleSet) peek(name string) (Backend, bool) {
+	if name != s.name {
+		return nil, false
+	}
+	return s.b, true
+}
+
+// registrySet mounts every dataset of a serve.Registry.
+type registrySet struct{ reg *serve.Registry }
+
+func (r registrySet) names() []string { return r.reg.Names() }
+
+func (r registrySet) has(name string) bool { return r.reg.Has(name) }
+
+func (r registrySet) get(ctx context.Context, name string) (Backend, error) {
+	a, err := r.reg.Get(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (r registrySet) peek(name string) (Backend, bool) {
+	a, ok := r.reg.Peek(name)
+	if !ok {
+		return nil, false
+	}
+	return a, true
 }
 
 // Options tunes the HTTP serving tier. The zero value gives production
@@ -116,12 +193,15 @@ type Result struct {
 	Shared bool
 }
 
-// Server is the HTTP serving tier over one Backend. Create with New
-// (production) or NewWithBackend (tests); it is safe for concurrent
-// use.
+// Server is the HTTP serving tier over one Backend or a multi-dataset
+// registry. Create with New (production, single dataset), NewMulti
+// (production, serve.Registry) or NewWithBackend (tests); it is safe
+// for concurrent use.
 type Server struct {
-	backend  Backend
-	answerer *serve.Answerer // non-nil iff backend is a *serve.Answerer
+	tenants  tenantSet
+	defName  string          // dataset the legacy /v1/* routes resolve to ("" = none)
+	answerer *serve.Answerer // non-nil iff single-tenant over a *serve.Answerer
+	registry *serve.Registry // non-nil iff built with NewMulti
 	opts     Options
 	cache    *answerCache // nil when caching is disabled
 	flights  *flightGroup
@@ -134,23 +214,45 @@ type Server struct {
 	mAnswer  *routeMetrics
 	mHealthz *routeMetrics
 	mStats   *routeMetrics
+
+	// Per-dataset answer metrics and swap counters, lazily created.
+	dsMu sync.RWMutex
+	ds   map[string]*datasetMetrics
 }
 
-// New builds the HTTP tier over a production Answerer; the Server's
-// SwapStore/Rebuild delegate to it and purge the cache eagerly.
+// New builds the HTTP tier over a production Answerer mounted as the
+// default dataset; the Server's SwapStore/Rebuild delegate to it and
+// purge its cache entries eagerly.
 func New(a *serve.Answerer, opts Options) *Server {
 	s := NewWithBackend(a, opts)
 	s.answerer = a
 	return s
 }
 
-// NewWithBackend builds the HTTP tier over any Backend. SwapStore and
-// Rebuild are unavailable (they need a *serve.Answerer), but cache
-// invalidation still tracks Store identity automatically.
+// NewMulti builds the HTTP tier over a dataset registry: every
+// registered dataset is served under /v1/{dataset}/answer, with lazy
+// loading and per-dataset hot swap. defaultDataset names the tenant
+// the legacy /v1/answer route resolves to; empty means the legacy
+// route answers 404 and clients must address datasets explicitly.
+func NewMulti(reg *serve.Registry, defaultDataset string, opts Options) *Server {
+	s := newServer(registrySet{reg: reg}, defaultDataset, opts)
+	s.registry = reg
+	return s
+}
+
+// NewWithBackend builds the HTTP tier over any Backend, mounted as the
+// default dataset. SwapStore and Rebuild are unavailable (they need a
+// *serve.Answerer), but cache invalidation still tracks Store identity
+// automatically.
 func NewWithBackend(b Backend, opts Options) *Server {
+	return newServer(singleSet{name: DefaultDataset, b: b}, DefaultDataset, opts)
+}
+
+func newServer(tenants tenantSet, defName string, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		backend: b,
+		tenants: tenants,
+		defName: defName,
 		opts:    opts,
 		flights: newFlightGroup(),
 		sem:     make(chan struct{}, opts.MaxInFlight),
@@ -159,6 +261,7 @@ func NewWithBackend(b Backend, opts Options) *Server {
 		mAnswer:  newRouteMetrics(opts.LatencyWindow),
 		mHealthz: newRouteMetrics(opts.LatencyWindow),
 		mStats:   newRouteMetrics(opts.LatencyWindow),
+		ds:       make(map[string]*datasetMetrics),
 	}
 	if opts.CacheEntries > 0 {
 		s.cache = newAnswerCache(opts.CacheEntries, opts.CacheShards)
@@ -167,7 +270,28 @@ func NewWithBackend(b Backend, opts Options) *Server {
 	s.mux.HandleFunc("/v1/answer", s.handleAnswer)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("/v1/{dataset}/answer", s.handleAnswer)
+	s.mux.HandleFunc("/v1/{dataset}/stats", s.handleDatasetStats)
+	s.mux.HandleFunc("/v1/{dataset}/healthz", s.handleDatasetHealthz)
 	return s
+}
+
+// dataset returns (creating if needed) the per-dataset metrics slot.
+func (s *Server) dataset(name string) *datasetMetrics {
+	s.dsMu.RLock()
+	m := s.ds[name]
+	s.dsMu.RUnlock()
+	if m != nil {
+		return m
+	}
+	s.dsMu.Lock()
+	defer s.dsMu.Unlock()
+	if m = s.ds[name]; m == nil {
+		m = &datasetMetrics{answers: newRouteMetrics(s.opts.LatencyWindow)}
+		s.ds[name] = m
+	}
+	return m
 }
 
 // Handler returns the route multiplexer, ready for http.Server or
@@ -176,17 +300,37 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // CacheKey canonicalizes request text into its cache/singleflight
 // identity: two phrasings normalize equal exactly when classification
-// treats them identically.
+// treats them identically. The full key additionally carries the
+// dataset name, so identical texts against different datasets never
+// collide.
 func CacheKey(text string) string { return voice.Normalize(text) }
 
-// Answer serves one request through the full tier — cache, then
-// singleflight, then admission-controlled kernel execution. It is the
-// in-process entry point the HTTP handler wraps; Latency is always the
-// true serving time of this call, not a cached value.
+// tenantKey scopes a canonicalized text to one dataset. Dataset names
+// arrive from the URL path and so can never contain the NUL separator.
+func tenantKey(dataset, text string) string {
+	return dataset + "\x00" + CacheKey(text)
+}
+
+// Answer serves one request against the default dataset; see
+// AnswerDataset.
 func (s *Server) Answer(ctx context.Context, text string) (Result, error) {
+	return s.AnswerDataset(ctx, s.defName, text)
+}
+
+// AnswerDataset serves one request against one named dataset through
+// the full tier — tenant resolution (lazily loading the dataset if
+// needed), cache, singleflight, then admission-controlled kernel
+// execution. It is the in-process entry point the HTTP handler wraps;
+// Latency is always the true serving time of this call, not a cached
+// value. Unknown datasets fail with serve.ErrUnknownDataset.
+func (s *Server) AnswerDataset(ctx context.Context, dataset, text string) (Result, error) {
 	start := time.Now()
-	key := CacheKey(text)
-	store := s.backend.Store()
+	b, err := s.tenants.get(ctx, dataset)
+	if err != nil {
+		return Result{}, err
+	}
+	key := tenantKey(dataset, text)
+	store := b.Store()
 	if s.cache != nil {
 		if ans, ok := s.cache.get(key, store); ok {
 			ans.Latency = time.Since(start)
@@ -204,9 +348,9 @@ func (s *Server) Answer(ctx context.Context, text string) (Result, error) {
 			return serve.Answer{}, err
 		}
 		defer func() { <-s.sem }()
-		ans := s.backend.Answer(text)
+		ans := b.Answer(text)
 		if s.cache != nil {
-			s.cache.put(key, store, ans)
+			s.cache.put(key, dataset, store, ans)
 		}
 		return ans, nil
 	})
@@ -236,38 +380,154 @@ func (s *Server) acquire() error {
 	}
 }
 
-// SwapStore swaps the live store on the underlying Answerer and purges
-// the cache eagerly (entries would self-invalidate by store identity
-// anyway; purging frees their memory now). Panics when the Server was
-// built over a custom Backend.
+// SwapStore swaps the live store of the default dataset's Answerer and
+// purges that dataset's cache entries eagerly (entries would
+// self-invalidate by store identity anyway; purging frees their memory
+// now). Panics when the Server was built over a custom Backend; for a
+// multi-dataset server use SwapStoreFor.
 func (s *Server) SwapStore(next *engine.Store) *engine.Store {
 	if s.answerer == nil {
+		if s.registry != nil && s.defName != "" {
+			old, err := s.SwapStoreFor(context.Background(), s.defName, next)
+			if err != nil {
+				panic("httpserve: SwapStore on default dataset: " + err.Error())
+			}
+			return old
+		}
 		panic("httpserve: SwapStore requires a *serve.Answerer backend")
 	}
 	old := s.answerer.SwapStore(next)
-	s.afterSwap()
+	s.afterSwap(s.defName)
 	return old
 }
 
-// Rebuild re-runs pre-processing through build and hot-swaps the result
-// in with zero downtime, purging the cache on success.
+// SwapStoreFor hot-swaps the live store of one named dataset, loading
+// it first if necessary, and purges exactly that dataset's cache
+// entries — other datasets keep their cache. Requires a registry
+// server (NewMulti).
+func (s *Server) SwapStoreFor(ctx context.Context, dataset string, next *engine.Store) (*engine.Store, error) {
+	if s.registry == nil {
+		panic("httpserve: SwapStoreFor requires a registry server (NewMulti)")
+	}
+	old, err := s.registry.SwapStore(ctx, dataset, next)
+	if err != nil {
+		return nil, err
+	}
+	s.afterSwap(dataset)
+	return old, nil
+}
+
+// Rebuild re-runs pre-processing through build and hot-swaps the
+// result into the default dataset with zero downtime, purging its
+// cache entries on success.
 func (s *Server) Rebuild(ctx context.Context, build func(context.Context) (*engine.Store, error)) (*engine.Store, error) {
 	if s.answerer == nil {
+		if s.registry != nil && s.defName != "" {
+			return s.RebuildFor(ctx, s.defName, build)
+		}
 		panic("httpserve: Rebuild requires a *serve.Answerer backend")
 	}
 	old, err := s.answerer.Rebuild(ctx, build)
 	if err != nil {
 		return nil, err
 	}
-	s.afterSwap()
+	s.afterSwap(s.defName)
 	return old, nil
 }
 
-func (s *Server) afterSwap() {
-	s.swaps.Add(1)
-	if s.cache != nil {
-		s.cache.purge()
+// RebuildFor re-runs pre-processing for one named dataset and
+// hot-swaps the result in with zero downtime; on error the dataset's
+// old store keeps serving and its cache survives. Requires a registry
+// server (NewMulti).
+func (s *Server) RebuildFor(ctx context.Context, dataset string, build func(context.Context) (*engine.Store, error)) (*engine.Store, error) {
+	if s.registry == nil {
+		panic("httpserve: RebuildFor requires a registry server (NewMulti)")
 	}
+	old, err := s.registry.Rebuild(ctx, dataset, build)
+	if err != nil {
+		return nil, err
+	}
+	s.afterSwap(dataset)
+	return old, nil
+}
+
+// afterSwap accounts one store swap on a dataset and frees exactly
+// that dataset's cache entries.
+func (s *Server) afterSwap(dataset string) {
+	s.swaps.Add(1)
+	s.dataset(dataset).swaps.Add(1)
+	if s.cache != nil {
+		s.cache.purgeDataset(dataset)
+	}
+}
+
+// DatasetAnswerer returns the production Answerer of a loaded dataset,
+// for callers needing direct store access — e.g. the daemon
+// snapshotting a freshly rebuilt store. It never triggers a load.
+func (s *Server) DatasetAnswerer(name string) (*serve.Answerer, bool) {
+	if s.registry != nil {
+		return s.registry.Peek(name)
+	}
+	if name == s.defName && s.answerer != nil {
+		return s.answerer, true
+	}
+	return nil, false
+}
+
+// Datasets lists the mounted datasets with residency and live store
+// size (the GET /v1/datasets payload).
+func (s *Server) Datasets() []DatasetInfo {
+	names := s.tenants.names()
+	out := make([]DatasetInfo, 0, len(names))
+	for _, name := range names {
+		info := DatasetInfo{Name: name, Default: name == s.defName}
+		if b, ok := s.tenants.peek(name); ok {
+			info.Loaded = true
+			info.Speeches = b.Store().Len()
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// DatasetStats snapshots one dataset's serving metrics (the
+// GET /v1/{dataset}/stats payload). Unknown datasets fail with
+// serve.ErrUnknownDataset.
+func (s *Server) DatasetStats(dataset string) (DatasetSnapshot, error) {
+	if !s.tenants.has(dataset) {
+		return DatasetSnapshot{}, fmt.Errorf("%w: %q", serve.ErrUnknownDataset, dataset)
+	}
+	m := s.dataset(dataset)
+	snap := DatasetSnapshot{
+		Name:    dataset,
+		Default: dataset == s.defName,
+		Answers: m.answers.snapshot(),
+		Swaps:   m.swaps.Load(),
+	}
+	if s.registry != nil {
+		// Swaps performed directly on the registry (behind the server's
+		// back) still count; take the larger of the two views.
+		if rs := s.registry.Swaps(dataset); rs > snap.Swaps {
+			snap.Swaps = rs
+		}
+	}
+	if b, ok := s.tenants.peek(dataset); ok {
+		snap.Loaded = true
+		snap.Speeches = b.Store().Len()
+	}
+	return snap, nil
+}
+
+// loadedSpeeches sums the store sizes of the currently resident
+// datasets; lazy tenants are never loaded just to be counted.
+func (s *Server) loadedSpeeches() (speeches, loaded int) {
+	for _, name := range s.tenants.names() {
+		if b, ok := s.tenants.peek(name); ok {
+			speeches += b.Store().Len()
+			loaded++
+		}
+	}
+	return speeches, loaded
 }
 
 // Stats snapshots the serving metrics (the GET /v1/stats payload).
@@ -285,10 +545,15 @@ func (s *Server) Stats() StatsSnapshot {
 			InFlight:    len(s.sem),
 			Rejected:    s.rejected.Load(),
 		},
-		Store: StoreSnapshot{
-			Speeches: s.backend.Store().Len(),
-			Swaps:    s.swaps.Load(),
-		},
+	}
+	snap.Store.Speeches, snap.Store.Loaded = s.loadedSpeeches()
+	snap.Store.Datasets = len(s.tenants.names())
+	snap.Store.Swaps = s.swaps.Load()
+	snap.Datasets = make(map[string]DatasetSnapshot)
+	for _, name := range s.tenants.names() {
+		if ds, err := s.DatasetStats(name); err == nil {
+			snap.Datasets[name] = ds
+		}
 	}
 	if s.cache != nil {
 		hits, misses := s.cache.hits.Load(), s.cache.misses.Load()
@@ -365,6 +630,8 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 // statusFor maps serving errors to HTTP statuses.
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, serve.ErrUnknownDataset):
+		return http.StatusNotFound
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -378,7 +645,30 @@ func statusFor(err error) int {
 func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	failed := true
-	defer func() { s.mAnswer.observe(time.Since(start), failed) }()
+	// The route-level metric observes every request, including the 404s
+	// below; the per-dataset metric is attached only once the name is
+	// known to be mounted, so URL scanning cannot grow the metrics map.
+	var dsMetrics *routeMetrics
+	defer func() {
+		s.mAnswer.observe(time.Since(start), failed)
+		if dsMetrics != nil {
+			dsMetrics.observe(time.Since(start), failed)
+		}
+	}()
+
+	dataset := r.PathValue("dataset")
+	if dataset == "" {
+		if dataset = s.defName; dataset == "" {
+			writeError(w, http.StatusNotFound,
+				"no default dataset mounted; address one explicitly via /v1/{dataset}/answer")
+			return
+		}
+	}
+	if !s.tenants.has(dataset) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q", dataset))
+		return
+	}
+	dsMetrics = s.dataset(dataset).answers
 
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -412,7 +702,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if req.Text != "" {
-		res, err := s.Answer(r.Context(), req.Text)
+		res, err := s.AnswerDataset(r.Context(), dataset, req.Text)
 		if err != nil {
 			writeError(w, statusFor(err), err.Error())
 			return
@@ -422,7 +712,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp, err := s.answerBatch(r.Context(), req.Texts)
+	resp, err := s.answerBatch(r.Context(), dataset, req.Texts)
 	if err != nil {
 		writeError(w, statusFor(err), err.Error())
 		return
@@ -431,11 +721,11 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// answerBatch serves a batch with bounded intra-request concurrency.
-// The first serving error fails the whole batch: partial results would
-// force clients to re-send anyway, and admission pressure applies to
-// every item equally.
-func (s *Server) answerBatch(ctx context.Context, texts []string) (BatchResponse, error) {
+// answerBatch serves a batch against one dataset with bounded
+// intra-request concurrency. The first serving error fails the whole
+// batch: partial results would force clients to re-send anyway, and
+// admission pressure applies to every item equally.
+func (s *Server) answerBatch(ctx context.Context, dataset string, texts []string) (BatchResponse, error) {
 	resp := BatchResponse{Answers: make([]AnswerResponse, len(texts))}
 	workers := s.opts.BatchWorkers
 	if workers > len(texts) {
@@ -448,7 +738,7 @@ func (s *Server) answerBatch(ctx context.Context, texts []string) (BatchResponse
 	for w := 0; w < workers; w++ {
 		go func() {
 			for i := range jobs {
-				res, err := s.Answer(ctx, texts[i])
+				res, err := s.AnswerDataset(ctx, dataset, texts[i])
 				if err != nil {
 					errs <- err
 					cancel()
@@ -480,10 +770,13 @@ feed:
 	return resp, nil
 }
 
-// HealthResponse is the GET /v1/healthz payload.
+// HealthResponse is the GET /v1/healthz payload. Speeches aggregates
+// the stores of the currently loaded datasets.
 type HealthResponse struct {
 	Status   string        `json:"status"`
 	Speeches int           `json:"speeches"`
+	Datasets int           `json:"datasets,omitempty"`
+	Loaded   int           `json:"loaded,omitempty"`
 	Swaps    uint64        `json:"swaps"`
 	UptimeNS time.Duration `json:"uptime_ns"`
 }
@@ -497,13 +790,81 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	speeches, loaded := s.loadedSpeeches()
 	failed = false
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:   "ok",
-		Speeches: s.backend.Store().Len(),
+		Speeches: speeches,
+		Datasets: len(s.tenants.names()),
+		Loaded:   loaded,
 		Swaps:    s.swaps.Load(),
 		UptimeNS: time.Since(s.started),
 	})
+}
+
+// handleDatasetHealthz reports one dataset's liveness: 200 with its
+// store size when mounted (loading is not triggered), 404 otherwise.
+func (s *Server) handleDatasetHealthz(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	failed := true
+	defer func() { s.mHealthz.observe(time.Since(start), failed) }()
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	snap, err := s.DatasetStats(r.PathValue("dataset"))
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	resp := HealthResponse{
+		Status:   "ok",
+		Speeches: snap.Speeches,
+		Swaps:    snap.Swaps, // same reconciled view as /v1/{dataset}/stats
+		UptimeNS: time.Since(s.started),
+	}
+	if snap.Loaded {
+		resp.Loaded = 1
+	}
+	failed = false
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// DatasetsResponse is the GET /v1/datasets payload.
+type DatasetsResponse struct {
+	Datasets []DatasetInfo `json:"datasets"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	failed := true
+	defer func() { s.mStats.observe(time.Since(start), failed) }()
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	failed = false
+	writeJSON(w, http.StatusOK, DatasetsResponse{Datasets: s.Datasets()})
+}
+
+func (s *Server) handleDatasetStats(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	failed := true
+	defer func() { s.mStats.observe(time.Since(start), failed) }()
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	snap, err := s.DatasetStats(r.PathValue("dataset"))
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	failed = false
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

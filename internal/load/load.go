@@ -1,10 +1,12 @@
-// Package load is the load-generation harness for the HTTP serving
-// tier: it synthesizes a mixed voice-query workload over a relation —
-// summaries, extrema, comparisons, and repeat requests, with
-// configurable zipf popularity skew — replays it against a server with
-// N concurrent client workers, and reports client-side latency
-// percentiles, throughput, and the answer-cache hit rate. Results
-// marshal to the BENCH_serve.json artifact CI archives.
+// Package load is the load-generation harness that measures the serve
+// end of the generate → evaluate → solve → serve flow under realistic
+// pressure: it synthesizes a mixed voice-query workload over a
+// relation — summaries, extrema, comparisons, and repeat requests,
+// with configurable zipf popularity skew — replays it against a
+// server with N concurrent client workers (against one named dataset
+// of a multi-dataset daemon via RunDataset), and reports client-side
+// latency percentiles, throughput, and the answer-cache hit rate.
+// Results marshal to the BENCH_serve.json artifact CI archives.
 package load
 
 import (
@@ -228,6 +230,7 @@ type LatencyReport struct {
 type Result struct {
 	Benchmark  string        `json:"benchmark"`
 	Target     string        `json:"target"`
+	Dataset    string        `json:"dataset,omitempty"`
 	Requests   int           `json:"requests"`
 	Workers    int           `json:"workers"`
 	Errors     int           `json:"errors"`
@@ -249,10 +252,18 @@ type Result struct {
 }
 
 // Run replays texts against the server at baseURL with the given
-// number of concurrent workers, via POST /v1/answer single requests.
-// Per-request errors are counted, not fatal; transport-level failure of
-// every request surfaces as Errors == Requests.
+// number of concurrent workers, via POST /v1/answer single requests
+// (the server's default dataset). Per-request errors are counted, not
+// fatal; transport-level failure of every request surfaces as
+// Errors == Requests.
 func Run(ctx context.Context, client *http.Client, baseURL string, texts []string, workers int) Result {
+	return RunDataset(ctx, client, baseURL, "", texts, workers)
+}
+
+// RunDataset replays texts against one named dataset of a
+// multi-dataset server (POST /v1/{dataset}/answer); an empty dataset
+// targets the default route. See Run for the error contract.
+func RunDataset(ctx context.Context, client *http.Client, baseURL, dataset string, texts []string, workers int) Result {
 	if workers < 1 {
 		workers = 1
 	}
@@ -266,6 +277,9 @@ func Run(ctx context.Context, client *http.Client, baseURL string, texts []strin
 		client = &http.Client{Transport: tr}
 	}
 	url := strings.TrimRight(baseURL, "/") + "/v1/answer"
+	if dataset != "" {
+		url = strings.TrimRight(baseURL, "/") + "/v1/" + dataset + "/answer"
+	}
 
 	// Pre-mark every request failed: a request the feed loop never
 	// dispatches (ctx cancelled mid-run) must count as an error, not as
@@ -301,6 +315,7 @@ feed:
 	res := Result{
 		Benchmark:  "serve",
 		Target:     baseURL,
+		Dataset:    dataset,
 		Requests:   len(texts),
 		Workers:    workers,
 		DurationNS: elapsed,

@@ -1,6 +1,8 @@
 // Package pipeline is the streaming offline half of the voice querying
-// system: it turns a configuration into a populated speech store by
-// running every supported query through five stages —
+// system — the orchestration of the paper's generate → evaluate →
+// solve flow whose output the serve layer answers from: it turns a
+// configuration into a populated speech store by running every
+// supported query through five stages —
 //
 //	generate problems → build evaluator → solve → render → sink
 //
@@ -29,6 +31,7 @@ import (
 
 	"cicero/internal/engine"
 	"cicero/internal/relation"
+	"cicero/internal/snapshot"
 	"cicero/internal/summarize"
 )
 
@@ -62,6 +65,38 @@ type Options struct {
 	Buffer int
 	// Seed perturbs the per-problem seeds handed to randomized solvers.
 	Seed int64
+	// SnapshotPath, when non-empty, additionally writes the finished
+	// store as a binary snapshot (internal/snapshot) to this path after
+	// a successful run, making the batch's output a deployable artifact
+	// a daemon cold-starts from in milliseconds. The write is atomic
+	// (temp file + rename); a failed write fails the run, since the
+	// caller asked for a durable artifact.
+	SnapshotPath string
+	// SnapshotFingerprint tags the snapshot with the build parameters
+	// that shaped it (see Fingerprint); a daemon refuses to cold-start
+	// from a snapshot whose tag differs from its own flags.
+	SnapshotFingerprint string
+}
+
+// Fingerprint renders the canonical build-provenance tag for a
+// pre-processed store: every configuration knob that changes the
+// store's content without changing the dataset's name or schema —
+// column selections, query/fact bounds, prior model, subset floor,
+// data seed, and solver. Writers (cmd/summarize -snapshot-out, the
+// daemon's snapshot write-back) and boot-time validators (cmd/serve
+// -snapshot-dir) must derive the tag through this one function so
+// their comparisons can never drift. A false mismatch (e.g. a config
+// file spelling out the default column lists explicitly) costs one
+// rebuild; a false match would silently serve a stale store, so the
+// tag errs on the side of including knobs.
+func Fingerprint(dataSeed int64, cfg engine.Config, solverName string) string {
+	if solverName == "" {
+		solverName = string(engine.AlgGreedyOpt)
+	}
+	return fmt.Sprintf("seed=%d maxlen=%d facts=%d factdims=%d minrows=%d prior=%s targets=%s dims=%s factdimcols=%s solver=%s",
+		dataSeed, cfg.MaxQueryLen, cfg.MaxFacts, cfg.MaxFactDims, cfg.MinSubsetRows, cfg.Prior,
+		strings.Join(cfg.Targets, ","), strings.Join(cfg.Dimensions, ","),
+		strings.Join(cfg.FactDimensions, ","), solverName)
 }
 
 // Progress is one monotonic progress snapshot.
@@ -371,7 +406,13 @@ func run(ctx context.Context, rel *relation.Relation, cfg engine.Config, source 
 		return nil, stats, stats.FirstErr
 	}
 	stats.Speeches = store.Len()
-	return store.Freeze(), stats, nil
+	frozen := store.Freeze()
+	if opts.SnapshotPath != "" {
+		if err := snapshot.WriteFileTagged(opts.SnapshotPath, frozen, rel, opts.SnapshotFingerprint); err != nil {
+			return nil, stats, fmt.Errorf("pipeline: write snapshot: %w", err)
+		}
+	}
+	return frozen, stats, nil
 }
 
 // solveOne runs stages 2–4 for one problem: evaluator build, solve,

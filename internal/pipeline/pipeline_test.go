@@ -14,6 +14,7 @@ import (
 	"cicero/internal/dataset"
 	"cicero/internal/engine"
 	"cicero/internal/relation"
+	"cicero/internal/snapshot"
 	"cicero/internal/summarize"
 )
 
@@ -537,5 +538,41 @@ func TestCheckpointIgnoresTornTail(t *testing.T) {
 	defer again.Close()
 	if again.Len() != 2 {
 		t.Errorf("loaded %d records after recovery+append, want 2", again.Len())
+	}
+}
+
+// TestRunWritesSnapshot proves Options.SnapshotPath turns the batch's
+// output into a deployable artifact: the written snapshot loads back
+// into a store identical in size and content to the returned one.
+func TestRunWritesSnapshot(t *testing.T) {
+	rel := dataset.Flights(1500, 1)
+	path := filepath.Join(t.TempDir(), "flights.snap")
+	store, _, err := Run(context.Background(), rel, flightsConfig(rel), Options{
+		Workers:      2,
+		SnapshotPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := snapshot.ReadFile(path, rel)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if loaded.Len() != store.Len() {
+		t.Fatalf("snapshot holds %d speeches, run produced %d", loaded.Len(), store.Len())
+	}
+	want, got := store.Speeches(), loaded.Speeches()
+	for i := range want {
+		if want[i].Text != got[i].Text || want[i].Query.Key() != got[i].Query.Key() {
+			t.Fatalf("speech %d diverged after snapshot round-trip", i)
+		}
+	}
+
+	// An unwritable snapshot path fails the run: the caller asked for a
+	// durable artifact.
+	if _, _, err := Run(context.Background(), rel, flightsConfig(rel), Options{
+		SnapshotPath: filepath.Join(t.TempDir(), "absent", "nested", "x.snap"),
+	}); err == nil {
+		t.Fatal("unwritable snapshot path did not fail the run")
 	}
 }

@@ -7,8 +7,10 @@
 // This package provides those operators over in-memory tables and
 // expresses Algorithms 1 and 2 as operator plans (see plans.go),
 // cross-validated against the direct implementations in
-// internal/summarize. It is the faithful-to-the-paper execution path;
-// the summarize package is the optimized one.
+// internal/summarize. It is the faithful-to-the-paper execution path
+// for the evaluate and solve stages of the generate → evaluate →
+// solve → serve flow; the summarize package is the optimized kernel
+// production pre-processing actually runs.
 package relalg
 
 import (

@@ -9,6 +9,12 @@
 // row value in every dimension column).
 //
 // A Relation is immutable after Freeze; concurrent reads are safe.
+//
+// Every stage of the generate → evaluate → solve → serve flow stands
+// on this substrate: the generate stage enumerates queries over its
+// dimension dictionaries, evaluate and solve aggregate its views, and
+// the serve stage's run-time extrema and comparisons select from it
+// directly.
 package relation
 
 import (

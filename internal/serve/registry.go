@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cicero/internal/engine"
+)
+
+// ErrUnknownDataset reports a dataset name no tenant is registered
+// under; the HTTP tier maps it to 404.
+var ErrUnknownDataset = errors.New("serve: unknown dataset")
+
+// Loader builds a dataset's Answerer on first use: typically a snapshot
+// load (milliseconds) with a rebuild-from-raw fallback (minutes). The
+// Registry invokes it at most once per load — concurrent Gets share one
+// in-flight load — and caches the result until Evict.
+type Loader func(ctx context.Context) (*Answerer, error)
+
+// tenant is one named dataset slot.
+type tenant struct {
+	name   string
+	loader Loader
+
+	// mu guards loaded transitions (load completion, eviction, swap)
+	// and inflight; it is held only briefly — never across a loader
+	// run — so Get waiters can honor their context.
+	mu sync.Mutex
+	// inflight is non-nil while a load runs; waiters block on its done
+	// channel (or their own ctx) instead of on mu.
+	inflight *loadFlight
+	loaded   atomic.Pointer[Answerer]
+
+	// lastUse is the unix-nano time of the last Get, for idle eviction.
+	lastUse atomic.Int64
+	// swaps counts per-dataset store hot-swaps.
+	swaps atomic.Uint64
+}
+
+// Registry hosts the Answerers of N named datasets behind one serving
+// surface: the multi-tenant half of the serving layer. Tenants register
+// eagerly (Add) or lazily (Register + Loader); Get resolves a name to
+// its live Answerer, loading it on first use; Evict drops a loaded
+// Answerer — freeing its store — while keeping the registration, so the
+// next Get reloads it. Each tenant's store hot-swaps independently
+// (SwapStore/Rebuild), so re-summarizing one dataset never disturbs the
+// others. All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+}
+
+// NewRegistry returns an empty dataset registry.
+func NewRegistry() *Registry {
+	return &Registry{tenants: make(map[string]*tenant)}
+}
+
+// Register adds a lazily loaded dataset: loader runs on the first Get.
+// Registering an existing name or an empty name is an error.
+func (r *Registry) Register(name string, loader Loader) error {
+	if name == "" {
+		return errors.New("serve: empty dataset name")
+	}
+	if loader == nil {
+		return fmt.Errorf("serve: dataset %q registered with a nil loader", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.tenants[name]; dup {
+		return fmt.Errorf("serve: dataset %q already registered", name)
+	}
+	r.tenants[name] = &tenant{name: name, loader: loader}
+	return nil
+}
+
+// Add registers a dataset with an already-built Answerer (no lazy
+// load). Evicting it later makes the next Get fail unless a loader was
+// also provided via Register; Add therefore installs a loader that
+// returns the same Answerer again.
+func (r *Registry) Add(name string, a *Answerer) error {
+	if a == nil {
+		return fmt.Errorf("serve: dataset %q added with a nil answerer", name)
+	}
+	err := r.Register(name, func(context.Context) (*Answerer, error) { return a, nil })
+	if err != nil {
+		return err
+	}
+	r.mu.RLock()
+	t := r.tenants[name]
+	r.mu.RUnlock()
+	t.loaded.Store(a)
+	t.lastUse.Store(time.Now().UnixNano())
+	return nil
+}
+
+// Names lists the registered dataset names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.tenants))
+	for n := range r.tenants {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether a dataset is registered (loaded or not).
+func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.tenants[name]
+	return ok
+}
+
+// Len returns the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tenants)
+}
+
+func (r *Registry) tenant(name string) (*tenant, error) {
+	r.mu.RLock()
+	t := r.tenants[name]
+	r.mu.RUnlock()
+	if t == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	return t, nil
+}
+
+// loadFlight is one shared in-flight load. a and err are written
+// before done closes and read only after, so the channel close is the
+// synchronization point.
+type loadFlight struct {
+	done chan struct{}
+	a    *Answerer
+	err  error
+}
+
+// Get resolves a dataset name to its live Answerer, running the loader
+// on first use (or after an eviction). Concurrent Gets of an unloaded
+// tenant share one load, and every caller — the one that started it
+// included — waits under its own context, so a slow loader cannot pin
+// goroutines whose clients already gave up. The load itself runs
+// detached from any caller's cancellation: it is a shared investment,
+// and the caller that happened to trigger it disconnecting must not
+// abort it for the others (nor livelock the tenant under steady
+// short-deadline traffic). A failed load leaves the tenant unloaded;
+// the next Get starts a fresh attempt. The fast path is one atomic
+// load.
+func (r *Registry) Get(ctx context.Context, name string) (*Answerer, error) {
+	t, err := r.tenant(name)
+	if err != nil {
+		return nil, err
+	}
+	t.lastUse.Store(time.Now().UnixNano())
+	if a := t.loaded.Load(); a != nil {
+		return a, nil
+	}
+	t.mu.Lock()
+	if a := t.loaded.Load(); a != nil { // loaded while we waited
+		t.mu.Unlock()
+		return a, nil
+	}
+	f := t.inflight
+	if f == nil {
+		f = &loadFlight{done: make(chan struct{})}
+		t.inflight = f
+		go t.load(context.WithoutCancel(ctx), f)
+	}
+	t.mu.Unlock()
+	select {
+	case <-f.done:
+		if f.err != nil {
+			return nil, fmt.Errorf("serve: loading dataset %q: %w", name, f.err)
+		}
+		return f.a, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// load runs the tenant's loader and publishes the outcome on the
+// flight. The publish step runs in a defer and a panicking loader is
+// converted into the flight's error, so the in-flight marker can
+// never leak (which would wedge the tenant) and a loader bug cannot
+// crash the process from this goroutine.
+func (t *tenant) load(ctx context.Context, f *loadFlight) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			f.a, f.err = nil, fmt.Errorf("loader panicked: %v", rec)
+		}
+		t.mu.Lock()
+		if f.err == nil && f.a != nil {
+			t.loaded.Store(f.a)
+		}
+		t.inflight = nil
+		t.mu.Unlock()
+		close(f.done)
+	}()
+	f.a, f.err = t.loader(ctx)
+	if f.err == nil && f.a == nil {
+		f.err = errors.New("loader returned nil")
+	}
+}
+
+// Peek returns the dataset's Answerer only if it is currently loaded;
+// it never triggers a load (used by stats and listings).
+func (r *Registry) Peek(name string) (*Answerer, bool) {
+	t, err := r.tenant(name)
+	if err != nil {
+		return nil, false
+	}
+	a := t.loaded.Load()
+	return a, a != nil
+}
+
+// Loaded reports whether the dataset is registered and currently
+// resident.
+func (r *Registry) Loaded(name string) bool {
+	_, ok := r.Peek(name)
+	return ok
+}
+
+// Evict drops a loaded Answerer, releasing its store and index memory;
+// the registration stays, so the next Get reloads through the loader.
+// It reports whether an Answerer was actually resident.
+func (r *Registry) Evict(name string) bool {
+	t, err := r.tenant(name)
+	if err != nil {
+		return false
+	}
+	// Under t.mu so an eviction cannot interleave with a swap's
+	// load-check-swap sequence (SwapStore) and orphan a fresh store.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.loaded.Swap(nil) != nil
+}
+
+// EvictIdle evicts every loaded dataset whose last Get is older than
+// maxIdle, returning the evicted names. A daemon hosting many rarely
+// queried datasets calls this periodically to bound memory; cold
+// tenants come back on demand through their loader (fast, when the
+// loader reads a snapshot).
+func (r *Registry) EvictIdle(maxIdle time.Duration) []string {
+	cutoff := time.Now().Add(-maxIdle).UnixNano()
+	r.mu.RLock()
+	tenants := make([]*tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		tenants = append(tenants, t)
+	}
+	r.mu.RUnlock()
+	var evicted []string
+	for _, t := range tenants {
+		if t.loaded.Load() != nil && t.lastUse.Load() < cutoff {
+			t.mu.Lock()
+			ok := t.lastUse.Load() < cutoff && t.loaded.Swap(nil) != nil
+			t.mu.Unlock()
+			if ok {
+				evicted = append(evicted, t.name)
+			}
+		}
+	}
+	sort.Strings(evicted)
+	return evicted
+}
+
+// Swaps returns the number of store hot-swaps performed on the dataset
+// through the registry.
+func (r *Registry) Swaps(name string) uint64 {
+	t, err := r.tenant(name)
+	if err != nil {
+		return 0
+	}
+	return t.swaps.Load()
+}
+
+// SwapStore hot-swaps the named dataset's live store, loading the
+// tenant first if needed, and returns the previous store. Other
+// datasets are untouched; in-flight answers on the swapped dataset
+// finish on the old store (see Answerer.SwapStore). A concurrent
+// eviction cannot orphan the new store: the swap lands in the live
+// Answerer, re-installing the tenant if an eviction raced it — the
+// freshly built store is the newest data, so resurrecting is correct.
+func (r *Registry) SwapStore(ctx context.Context, name string, next *engine.Store) (*engine.Store, error) {
+	a, err := r.Get(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	t, err := r.tenant(name)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur := t.loaded.Load(); cur != nil {
+		// An eviction+reload may have replaced the Answerer we resolved;
+		// swap into whichever is live so the store is never lost.
+		a = cur
+	} else {
+		t.loaded.Store(a)
+	}
+	old := a.SwapStore(next)
+	t.swaps.Add(1)
+	return old, nil
+}
+
+// Rebuild re-runs pre-processing for one dataset through build and
+// hot-swaps the result in with zero downtime; on error the old store
+// keeps serving. The per-dataset analogue of Answerer.Rebuild. Like
+// SwapStore, the result survives a concurrent eviction.
+func (r *Registry) Rebuild(ctx context.Context, name string, build func(context.Context) (*engine.Store, error)) (*engine.Store, error) {
+	// Resolve (and if needed load) the tenant first so an unknown name
+	// or failing loader surfaces before the expensive build.
+	if _, err := r.Get(ctx, name); err != nil {
+		return nil, err
+	}
+	next, err := build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if next == nil {
+		return nil, errors.New("serve: rebuild returned a nil store")
+	}
+	return r.SwapStore(ctx, name, next)
+}

@@ -1,9 +1,12 @@
-// Package serve is the unified run-time serving layer: one front door —
-// the Answerer — takes any voice request, classifies it, routes it to the
-// matching backend (indexed speech-store lookup for supported summary
-// queries, run-time aggregation for extrema and comparisons, canned
-// conversational answers for help and repeat), and returns a uniform
-// Answer with speech text, latency, and match metadata.
+// Package serve is the unified run-time serving layer — the serve stage
+// of the paper's generate → evaluate → solve → serve flow, where the
+// minutes the offline stages invested are repaid as microsecond
+// answers. One front door — the Answerer — takes any voice request,
+// classifies it, routes it to the matching backend (indexed
+// speech-store lookup for supported summary queries, run-time
+// aggregation for extrema and comparisons, canned conversational
+// answers for help and repeat), and returns a uniform Answer with
+// speech text, latency, and match metadata.
 //
 // The Answerer is stateless and safe for concurrent use; it serves from a
 // frozen engine.Store, so any number of goroutines — REPL readers, batch
@@ -13,6 +16,12 @@
 // pausing in-flight answers, making periodic re-summarization a zero
 // downtime operation. Per-user conversational state (the "repeat"
 // request) lives in Session.
+//
+// One daemon serves many scenarios through the Registry: it hosts the
+// Answerers of N named datasets with lazy loading (typically from an
+// internal/snapshot artifact), eviction of idle tenants, and
+// per-dataset hot swap, so re-summarizing one dataset never disturbs
+// the others.
 package serve
 
 import (

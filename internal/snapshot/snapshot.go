@@ -1,0 +1,149 @@
+// Package snapshot persists the frozen speech store as a versioned,
+// checksummed binary artifact, turning the serve step of the paper's
+// generate → evaluate → solve → serve flow into a deployable unit: the
+// offline half (pipeline) spends minutes summarizing a data set, and a
+// snapshot makes that investment durable, so a restarted daemon — or a
+// second machine — cold-starts in milliseconds by loading the artifact
+// instead of recomputing it.
+//
+// The format (documented byte-by-byte in FORMAT.md) is a fixed header
+// plus flat, 8-byte-aligned sections in the spirit of the summarization
+// kernel's CSR layouts: one interned-string table shared by every
+// query, predicate, fact scope, and speech text; fixed-width speech
+// records; and CSR offset arrays (predStart/factStart/scopeStart) into
+// flat predicate, fact-value, and scope-pair arrays. Strings and scope
+// values are stored by name, not dictionary code, so a snapshot
+// survives re-ingestion of the data with different code assignment —
+// the same property the JSON store format (engine.Store.Save) has,
+// at a fraction of the size and parse cost, and in a layout a reader
+// could mmap directly.
+//
+// Integrity is enforced on load: a CRC-32C over the header and another
+// over the payload reject truncated or bit-flipped files (ErrCorrupt),
+// a version field rejects snapshots written by an incompatible build
+// (ErrVersion), and the embedded dataset name and schema must match the
+// relation the store is being mounted onto (ErrDataset). Write is
+// atomic on the file level: WriteFile writes a temporary file and
+// renames it into place, so a crashed writer can never leave a torn
+// snapshot behind under the target name.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+// Magic identifies a cicero snapshot file (first 8 bytes).
+const Magic = "CICERSNP"
+
+// Version is the snapshot format version this build reads and writes.
+// It is bumped on any incompatible layout change; Read rejects other
+// versions with ErrVersion.
+const Version uint32 = 1
+
+// Sentinel errors; Read wraps them with positional detail, so test with
+// errors.Is.
+var (
+	// ErrCorrupt reports a file that is not a snapshot, is truncated,
+	// or fails a checksum.
+	ErrCorrupt = errors.New("snapshot: corrupt file")
+	// ErrVersion reports a snapshot written in an incompatible format
+	// version.
+	ErrVersion = errors.New("snapshot: incompatible format version")
+	// ErrDataset reports a snapshot whose dataset name or schema does
+	// not match the relation it is being loaded against.
+	ErrDataset = errors.New("snapshot: dataset mismatch")
+)
+
+// Header layout (headerSize bytes, little-endian):
+//
+//	[0:8)   magic "CICERSNP"
+//	[8:12)  format version (uint32)
+//	[12:16) section count (uint32)
+//	[16:24) payload size in bytes (uint64)
+//	[24:28) CRC-32C of the payload (uint32)
+//	[28:32) CRC-32C of header bytes [0:28) (uint32)
+//	[32:48) reserved, zero
+const (
+	headerSize = 48
+
+	offMagic        = 0
+	offVersion      = 8
+	offSectionCount = 12
+	offPayloadSize  = 16
+	offPayloadCRC   = 24
+	offHeaderCRC    = 28
+)
+
+// Section ids. Every section is 8-byte aligned inside the payload; the
+// section table (one 24-byte entry per section, sorted by id) is the
+// first thing in the payload.
+const (
+	secMeta       uint32 = 1 // dataset, creation time, schema, counts
+	secStrings    uint32 = 2 // interned string table (CSR offsets + blob)
+	secSpeeches   uint32 = 3 // fixed 24-byte speech records
+	secPredStart  uint32 = 4 // CSR: speech -> predicate range
+	secPreds      uint32 = 5 // flat (column, value) string-id pairs
+	secFactStart  uint32 = 6 // CSR: speech -> fact range
+	secFactValues uint32 = 7 // flat fact values (float64 bits)
+	secScopeStart uint32 = 8 // CSR: fact -> scope range
+	secScopePairs uint32 = 9 // flat (dimension, value) string-id pairs
+)
+
+// sectionEntry is one section-table row: {id, pad, offset, length},
+// offset relative to the payload start.
+const sectionEntrySize = 24
+
+const speechRecordSize = 24 // target u32, text u32, utility f64, prior f64
+
+// metaFixedSize is the fixed prefix of the meta section: dataset string
+// id (u32), speech count (u32), created unix-nano (i64), dimension
+// count (u32), target count (u32), build-fingerprint string id (u32);
+// dimension and target string ids follow.
+const metaFixedSize = 28
+
+// maxSections bounds the section table a reader accepts, so a corrupt
+// count cannot drive a huge allocation.
+const maxSections = 64
+
+// castagnoli is the CRC-32C table shared by writer and reader.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Meta describes a snapshot without loading its speeches; Info returns
+// it, and Read validates it against the target relation.
+type Meta struct {
+	// Dataset is the relation name the store was summarized from.
+	Dataset string
+	// Created is when the snapshot was written.
+	Created time.Time
+	// Dimensions and Targets fingerprint the schema the store's facts
+	// and queries are resolved against.
+	Dimensions []string
+	Targets    []string
+	// Fingerprint is the writer-supplied build provenance tag (e.g.
+	// "seed=1 maxlen=2 facts=3 solver=G-O"). Read does not enforce it —
+	// name and schema checks are structural, build parameters are
+	// policy — but a daemon should refuse to cold-start from a
+	// snapshot whose fingerprint differs from its own flags, since
+	// such a store is valid yet stale.
+	Fingerprint string
+	// Speeches is the number of stored speeches.
+	Speeches int
+	// FormatVersion is the snapshot format version of the file.
+	FormatVersion uint32
+	// Size is the total file size in bytes.
+	Size int64
+}
+
+// corruptf wraps ErrCorrupt with detail.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// align8 rounds n up to the next multiple of 8.
+func align8(n int) int { return (n + 7) &^ 7 }
+
+var le = binary.LittleEndian

@@ -1,7 +1,10 @@
-// Package stats provides the small statistical toolbox used by the
-// cost-based pruning optimizer (Section VI-C of the paper): the normal
-// distribution CDF for pruning-probability estimation and summary
-// helpers shared by the experiment harness.
+// Package stats provides the small statistical toolbox shared across
+// the generate → evaluate → solve → serve flow: the normal
+// distribution CDF the solve stage's cost-based pruning optimizer
+// (Section VI-C of the paper) estimates pruning probabilities with,
+// percentile helpers for the experiment harness, and the concurrent
+// bounded-window LatencyRecorder the serve stage's HTTP tier reports
+// p50/p95/p99 latencies from at constant memory.
 package stats
 
 import (

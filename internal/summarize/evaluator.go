@@ -3,6 +3,13 @@
 // (Algorithm 1, Section IV), the greedy algorithm with (1−1/e) guarantee
 // (Algorithm 2, Section V), fact-group pruning (Algorithm 3, Section VI-B)
 // and the cost-based pruning optimizer (Algorithm 4, Sections VI-C/D).
+//
+// It is the evaluate and solve heart of the generate → evaluate →
+// solve → serve flow: the Evaluator pre-computes the per-problem state
+// every algorithm shares (the materialized fact-scope join as CSR
+// postings, the fact-group lattice, per-row priors), and Exact/Greedy
+// consume it to pick the optimal fact set — the allocation-free hot
+// loop the pre-processing batch spends nearly all of its time in.
 package summarize
 
 import (

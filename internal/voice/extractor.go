@@ -4,6 +4,12 @@
 // analyzes the public deployment logs, and synthesizing deployment logs
 // for the Table III / Figure 9 experiments.
 //
+// In the generate → evaluate → solve → serve flow it is the serve
+// stage's first step: Classify and the Extractor turn raw utterances
+// into the structured queries the speech store was pre-processed to
+// answer; Normalize defines the canonical text identity the HTTP
+// tier's answer cache keys on.
+//
 // The paper trains an extractor "with a few samples" on the Google
 // Assistant platform; this package substitutes a deterministic
 // keyword/synonym extractor trained from the same kind of samples.
