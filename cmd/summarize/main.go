@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +51,7 @@ func main() {
 		resume     = flag.Bool("resume", false, "resume from an existing checkpoint instead of refusing to reuse it")
 		out        = flag.String("out", "", "write the speech store to this JSON file")
 		snapOut    = flag.String("snapshot-out", "", "write the speech store as a binary snapshot (the deployable artifact cmd/serve cold-starts from)")
+		benchOut   = flag.String("bench-out", "", "write the batch statistics as a JSON benchmark artifact (BENCH_summarize.json)")
 	)
 	flag.Parse()
 
@@ -168,6 +170,14 @@ func main() {
 		}
 	}
 
+	if *benchOut != "" {
+		if err := writeBenchArtifact(*benchOut, rel, solverName, cfg, stats); err != nil {
+			fmt.Fprintln(os.Stderr, "summarize: bench-out:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench artifact:  %s\n", *benchOut)
+	}
+
 	if *show > 0 {
 		fmt.Printf("\nsample speeches:\n")
 		for i, sp := range store.Speeches() {
@@ -177,6 +187,50 @@ func main() {
 			fmt.Printf("  [%s]\n    %s\n", sp.Query.String(), sp.Text)
 		}
 	}
+}
+
+// writeBenchArtifact records the batch statistics as a stable JSON
+// shape, so CI runs can be diffed against the committed
+// BENCH_summarize.json baseline.
+func writeBenchArtifact(path string, rel *relation.Relation, solverName string, cfg engine.Config, stats pipeline.Stats) error {
+	artifact := struct {
+		Dataset     string  `json:"dataset"`
+		Rows        int     `json:"rows"`
+		Solver      string  `json:"solver"`
+		MaxQueryLen int     `json:"max_query_len"`
+		Problems    int     `json:"problems"`
+		Speeches    int     `json:"speeches"`
+		ElapsedNS   int64   `json:"elapsed_ns"`
+		PerQueryNS  int64   `json:"per_query_ns"`
+		AvgUtility  float64 `json:"avg_scaled_utility"`
+		EvaluateNS  int64   `json:"stage_evaluate_ns"`
+		SolveNS     int64   `json:"stage_solve_ns"`
+		RenderNS    int64   `json:"stage_render_ns"`
+		SinkNS      int64   `json:"stage_sink_ns"`
+		TimedOut    int     `json:"timed_out"`
+		Failed      int     `json:"failed"`
+	}{
+		Dataset:     rel.Name(),
+		Rows:        rel.NumRows(),
+		Solver:      solverName,
+		MaxQueryLen: cfg.MaxQueryLen,
+		Problems:    stats.Problems,
+		Speeches:    stats.Speeches,
+		ElapsedNS:   stats.Elapsed.Nanoseconds(),
+		PerQueryNS:  stats.PerQuery.Nanoseconds(),
+		AvgUtility:  stats.AvgScaledUtility(),
+		EvaluateNS:  stats.Stages.Evaluate.Nanoseconds(),
+		SolveNS:     stats.Stages.Solve.Nanoseconds(),
+		RenderNS:    stats.Stages.Render.Nanoseconds(),
+		SinkNS:      stats.Stages.Sink.Nanoseconds(),
+		TimedOut:    stats.TimedOut,
+		Failed:      stats.Failed,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // loadInput resolves the input relation and configuration.

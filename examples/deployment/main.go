@@ -156,7 +156,7 @@ func main() {
 	cfg2 := cicero.DefaultConfig(flightsRel)
 	cfg2.Targets = []string{"cancelled"}
 	cfg2.MaxQueryLen = 2
-	old, err := srv.RebuildFor(ctx, "flights", func(ctx context.Context) (*engine.Store, error) {
+	old, err := srv.RebuildFor(ctx, "flights", func(ctx context.Context) (engine.StoreView, error) {
 		next, _, err := pipeline.Run(ctx, flightsRel, cfg2, pipeline.Options{
 			Solver:   string(engine.AlgGreedyOpt),
 			Workers:  runtime.GOMAXPROCS(0),

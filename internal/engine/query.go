@@ -30,7 +30,7 @@ func (q Query) Canonical() Query {
 
 // Key returns a canonical string identity for store lookups.
 func (q Query) Key() string {
-	return predsKey(q.Target, canonicalPreds(q.Predicates))
+	return predsKey(q.Target, canonicalPredsView(q.Predicates))
 }
 
 // String renders the query for logs and demos.

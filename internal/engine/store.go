@@ -3,6 +3,7 @@ package engine
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"cicero/internal/fact"
 )
@@ -42,6 +43,10 @@ type Store struct {
 	byKey    map[string]*StoredSpeech
 	byTarget map[string]*targetIndex
 	frozen   bool
+
+	// scratch pools the dense posting-intersection counters so the
+	// wide-query fallback allocates nothing per lookup.
+	scratch sync.Pool
 }
 
 // targetIndex is the per-target half of the generalization index.
@@ -158,8 +163,9 @@ func (s *Store) Lookup(q Query) (*StoredSpeech, bool) {
 // generalization. The serving layer uses this to answer and annotate in
 // a single store probe.
 func (s *Store) Match(q Query) (sp *StoredSpeech, exact, ok bool) {
-	// One canonicalization serves the exact probe and both index paths.
-	preds := canonicalPreds(q.Predicates)
+	// One canonicalization serves the exact probe and both index paths;
+	// already-canonical input (the common serve re-probe) is not copied.
+	preds := canonicalPredsView(q.Predicates)
 	if sp, ok := s.byKey[predsKey(q.Target, preds)]; ok {
 		return sp, true, true
 	}
@@ -214,21 +220,62 @@ func (s *Store) lookupEnum(target string, preds []NamedPredicate, top int) (*Sto
 	return nil, false
 }
 
+// postScratch is the reusable state of one posting-intersection pass:
+// an epoch-stamped dense counter (bumping the epoch invalidates every
+// slot without clearing, the same trick as the summarization kernel's
+// scratch) plus the list of slots touched this pass, so the scan over
+// candidates visits only referenced speeches.
+type postScratch struct {
+	epoch   uint32
+	stamp   []uint32
+	count   []int32
+	touched []int32
+}
+
+// reset sizes the scratch for n speeches and opens a fresh epoch.
+func (sc *postScratch) reset(n int) {
+	if cap(sc.stamp) < n {
+		sc.stamp = make([]uint32, n)
+		sc.count = make([]int32, n)
+	}
+	sc.stamp = sc.stamp[:n]
+	sc.count = sc.count[:n]
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: stale stamps could collide, clear once
+		clear(sc.stamp)
+		sc.epoch = 1
+	}
+	sc.touched = sc.touched[:0]
+}
+
 // lookupPosting finds the most specific generalization by counting, for
 // every speech referenced from the query predicates' posting lists, how
 // many of its predicates the query shares. A speech is a generalization
-// iff the count equals its own predicate count.
+// iff the count equals its own predicate count. The counters live in a
+// per-store pooled dense scratch, so the wide-query fallback is
+// allocation-free in steady state.
 func (s *Store) lookupPosting(ti *targetIndex, preds []NamedPredicate) (*StoredSpeech, bool) {
-	counts := make(map[int32]int, 16)
+	sc, _ := s.scratch.Get().(*postScratch)
+	if sc == nil {
+		sc = &postScratch{}
+	}
+	defer s.scratch.Put(sc)
+	sc.reset(len(ti.speeches))
 	for _, p := range preds {
 		for _, idx := range ti.posting[p] {
-			counts[idx]++
+			if sc.stamp[idx] != sc.epoch {
+				sc.stamp[idx] = sc.epoch
+				sc.count[idx] = 0
+				sc.touched = append(sc.touched, idx)
+			}
+			sc.count[idx]++
 		}
 	}
 	var best *StoredSpeech
 	bestShared, bestKey := -1, ""
-	for idx, n := range counts {
+	for _, idx := range sc.touched {
 		sp := ti.speeches[idx]
+		n := int(sc.count[idx])
 		if n != len(sp.Query.Predicates) {
 			continue
 		}
@@ -285,6 +332,20 @@ func (s *Store) Speeches() []*StoredSpeech {
 		out[i] = s.byKey[k]
 	}
 	return out
+}
+
+// canonicalPredsView returns the canonical form of preds, reusing the
+// input slice when it is already sorted and deduplicated — the common
+// case on the serve path, where queries arrive pre-canonicalized from
+// the extractor or a stored speech. Callers must not mutate the result.
+func canonicalPredsView(preds []NamedPredicate) []NamedPredicate {
+	for i := 1; i < len(preds); i++ {
+		a, b := preds[i-1], preds[i]
+		if a.Column > b.Column || (a.Column == b.Column && a.Value >= b.Value) {
+			return canonicalPreds(preds)
+		}
+	}
+	return preds
 }
 
 // canonicalPreds returns the predicates sorted by column then value and

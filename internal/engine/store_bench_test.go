@@ -49,6 +49,33 @@ func benchPreds(rng *rand.Rand, k int) []NamedPredicate {
 // the pre-refactor linear scan as the store grows from 10^3 to 10^5
 // speeches. The indexed path is size-independent (a handful of map
 // probes); the scan degrades linearly with speeches per target.
+// BenchmarkStoreLookupWide measures the posting-intersection fallback
+// on queries too wide for subset enumeration. With the pooled dense
+// scratch the steady state allocates only the canonical key of the
+// exact-match probe.
+func BenchmarkStoreLookupWide(b *testing.B) {
+	st, _ := buildBenchStore(10_000)
+	rng := rand.New(rand.NewSource(7))
+	queries := make([]Query, 64)
+	for i := range queries {
+		q := Query{Target: "t"}
+		for j := 0; j < 48; j++ {
+			q.Predicates = append(q.Predicates,
+				NamedPredicate{fmt.Sprintf("w%02d", j), "x"})
+		}
+		q.Predicates = append(q.Predicates, benchPreds(rng, 2)...)
+		q.Predicates = canonicalPreds(q.Predicates)
+		queries[i] = q
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := st.Lookup(queries[i%len(queries)]); !ok {
+			b.Fatal("wide lookup missed despite overall speech")
+		}
+	}
+}
+
 func BenchmarkStoreLookup(b *testing.B) {
 	for _, n := range []int{1_000, 10_000, 100_000} {
 		st, queries := buildBenchStore(n)

@@ -1,0 +1,82 @@
+package engine
+
+// StoreView is the read-only accessor surface of a frozen speech store —
+// the contract the serving stack (serve.Answerer, the HTTP tier, the
+// facade) depends on, decoupling it from how the speeches are laid out
+// in memory. Two implementations exist: *Store, the mutable-then-frozen
+// heap structure built by pre-processing, and snapshot.Map, which
+// serves the same answers directly out of an mmapped snapshot artifact
+// without materializing a heap store.
+//
+// Every implementation must be safe for concurrent use once serving
+// begins, and all of them must agree bit-for-bit: same speeches, same
+// most-specific-generalization semantics, same lexicographic-key
+// tie-breaks. The cross-check oracle in internal/snapshot pins that
+// parity.
+type StoreView interface {
+	// Exact returns the speech pre-generated for precisely this query.
+	Exact(q Query) (*StoredSpeech, bool)
+	// Lookup returns the best speech for the query: the exact match, or
+	// the most specific containing generalization.
+	Lookup(q Query) (*StoredSpeech, bool)
+	// Match is Lookup plus match metadata: exact reports whether the
+	// served speech describes the query's own data subset.
+	Match(q Query) (sp *StoredSpeech, exact, ok bool)
+	// Speeches returns all stored speeches in canonical-key order.
+	Speeches() []*StoredSpeech
+	// HasTarget reports whether any speech exists for the target column.
+	HasTarget(target string) bool
+	// Len returns the number of stored speeches.
+	Len() int
+}
+
+// Sealable is implemented by store views that distinguish a mutable
+// build phase from frozen serving (the heap *Store). The serving layer
+// seals any store it is handed; views that are frozen by construction
+// (snapshot.Map) simply do not implement it.
+type Sealable interface {
+	Freeze() *Store
+}
+
+// Seal freezes the view when it distinguishes build from serve phases;
+// immutable-by-construction views pass through untouched.
+func Seal(v StoreView) StoreView {
+	if s, ok := v.(Sealable); ok {
+		s.Freeze()
+	}
+	return v
+}
+
+// The helpers below define the canonical key space every StoreView
+// implementation must match on. They are exported so an alternate
+// implementation (the mmap-backed snapshot reader) reproduces the heap
+// store's probing and tie-break semantics exactly instead of
+// re-deriving them.
+
+// CanonicalPreds returns the predicates sorted by column then value and
+// deduplicated. When the input is already canonical — the common case
+// on the serve path, which re-probes canonical queries — the input
+// slice is returned as is, without copying; callers must treat the
+// result as read-only.
+func CanonicalPreds(preds []NamedPredicate) []NamedPredicate {
+	return canonicalPredsView(preds)
+}
+
+// PredsKey builds the canonical store key of a target and canonically
+// sorted predicates.
+func PredsKey(target string, preds []NamedPredicate) string {
+	return predsKey(target, preds)
+}
+
+// SubsetPredsKey builds the canonical key of the predicate subset
+// selected by idx (ascending positions into canonically sorted preds).
+func SubsetPredsKey(target string, preds []NamedPredicate, idx []int) string {
+	return subsetKey(target, preds, idx)
+}
+
+// EnumFits reports whether probing all predicate subsets of sizes
+// top..0 over n predicates stays within the lookup enumeration budget;
+// beyond it, Match implementations switch to posting-list intersection.
+func EnumFits(n, top int) bool {
+	return enumFits(n, top)
+}

@@ -28,7 +28,7 @@ import (
 type cacheEntry struct {
 	key     string
 	dataset string
-	store   *engine.Store
+	store   engine.StoreView
 	ans     serve.Answer
 }
 
@@ -89,7 +89,7 @@ func (c *answerCache) shard(key string) *cacheShard {
 // get returns the cached answer for key if one exists and was computed
 // against the given live store. An entry from an older store generation
 // is evicted on sight and reported as a miss.
-func (c *answerCache) get(key string, store *engine.Store) (serve.Answer, bool) {
+func (c *answerCache) get(key string, store engine.StoreView) (serve.Answer, bool) {
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -112,7 +112,7 @@ func (c *answerCache) get(key string, store *engine.Store) (serve.Answer, bool) 
 
 // put stores an answer computed against the given dataset and store,
 // evicting the least recently used entry when the shard is full.
-func (c *answerCache) put(key, dataset string, store *engine.Store, ans serve.Answer) {
+func (c *answerCache) put(key, dataset string, store engine.StoreView, ans serve.Answer) {
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -376,7 +376,7 @@ func TestMultiRebuildFor(t *testing.T) {
 	if _, err := s.AnswerDataset(ctx, "flights", q); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.RebuildFor(ctx, "flights", func(context.Context) (*engine.Store, error) {
+	if _, err := s.RebuildFor(ctx, "flights", func(context.Context) (engine.StoreView, error) {
 		return nil, fmt.Errorf("build exploded")
 	}); err == nil {
 		t.Fatal("failed rebuild reported success")
@@ -386,7 +386,7 @@ func TestMultiRebuildFor(t *testing.T) {
 	}
 
 	gen2 := buildFlightsStore(t, flightsRel(), 1, "chance of cancellation")
-	if _, err := s.RebuildFor(ctx, "flights", func(context.Context) (*engine.Store, error) {
+	if _, err := s.RebuildFor(ctx, "flights", func(context.Context) (engine.StoreView, error) {
 		return gen2, nil
 	}); err != nil {
 		t.Fatal(err)

@@ -55,7 +55,7 @@ type Backend interface {
 	Answer(text string) serve.Answer
 	// Store returns the live speech store; its identity defines the
 	// cache and singleflight generation.
-	Store() *engine.Store
+	Store() engine.StoreView
 }
 
 // DefaultDataset is the dataset name a single-tenant server mounts its
@@ -385,7 +385,7 @@ func (s *Server) acquire() error {
 // self-invalidate by store identity anyway; purging frees their memory
 // now). Panics when the Server was built over a custom Backend; for a
 // multi-dataset server use SwapStoreFor.
-func (s *Server) SwapStore(next *engine.Store) *engine.Store {
+func (s *Server) SwapStore(next engine.StoreView) engine.StoreView {
 	if s.answerer == nil {
 		if s.registry != nil && s.defName != "" {
 			old, err := s.SwapStoreFor(context.Background(), s.defName, next)
@@ -405,7 +405,7 @@ func (s *Server) SwapStore(next *engine.Store) *engine.Store {
 // it first if necessary, and purges exactly that dataset's cache
 // entries — other datasets keep their cache. Requires a registry
 // server (NewMulti).
-func (s *Server) SwapStoreFor(ctx context.Context, dataset string, next *engine.Store) (*engine.Store, error) {
+func (s *Server) SwapStoreFor(ctx context.Context, dataset string, next engine.StoreView) (engine.StoreView, error) {
 	if s.registry == nil {
 		panic("httpserve: SwapStoreFor requires a registry server (NewMulti)")
 	}
@@ -420,7 +420,7 @@ func (s *Server) SwapStoreFor(ctx context.Context, dataset string, next *engine.
 // Rebuild re-runs pre-processing through build and hot-swaps the
 // result into the default dataset with zero downtime, purging its
 // cache entries on success.
-func (s *Server) Rebuild(ctx context.Context, build func(context.Context) (*engine.Store, error)) (*engine.Store, error) {
+func (s *Server) Rebuild(ctx context.Context, build func(context.Context) (engine.StoreView, error)) (engine.StoreView, error) {
 	if s.answerer == nil {
 		if s.registry != nil && s.defName != "" {
 			return s.RebuildFor(ctx, s.defName, build)
@@ -439,7 +439,7 @@ func (s *Server) Rebuild(ctx context.Context, build func(context.Context) (*engi
 // hot-swaps the result in with zero downtime; on error the dataset's
 // old store keeps serving and its cache survives. Requires a registry
 // server (NewMulti).
-func (s *Server) RebuildFor(ctx context.Context, dataset string, build func(context.Context) (*engine.Store, error)) (*engine.Store, error) {
+func (s *Server) RebuildFor(ctx context.Context, dataset string, build func(context.Context) (engine.StoreView, error)) (engine.StoreView, error) {
 	if s.registry == nil {
 		panic("httpserve: RebuildFor requires a registry server (NewMulti)")
 	}

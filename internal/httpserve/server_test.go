@@ -250,7 +250,7 @@ func (b *blockingBackend) Answer(text string) serve.Answer {
 	return serve.Answer{Kind: serve.Help, Text: "done: " + text, Answered: true}
 }
 
-func (b *blockingBackend) Store() *engine.Store { return b.store }
+func (b *blockingBackend) Store() engine.StoreView { return b.store }
 
 func TestAdmissionControl(t *testing.T) {
 	b := &blockingBackend{
@@ -378,7 +378,7 @@ func TestServerRebuild(t *testing.T) {
 	if _, err := s.Answer(ctx, "cancellations in Winter"); err != nil {
 		t.Fatal(err)
 	}
-	old, err := s.Rebuild(ctx, func(context.Context) (*engine.Store, error) {
+	old, err := s.Rebuild(ctx, func(context.Context) (engine.StoreView, error) {
 		return gen2, nil
 	})
 	if err != nil || old == nil {
@@ -393,7 +393,7 @@ func TestServerRebuild(t *testing.T) {
 	}
 
 	// A failing rebuild leaves the live store untouched.
-	if _, err := s.Rebuild(ctx, func(context.Context) (*engine.Store, error) {
+	if _, err := s.Rebuild(ctx, func(context.Context) (engine.StoreView, error) {
 		return nil, fmt.Errorf("boom")
 	}); err == nil {
 		t.Fatal("failing rebuild reported success")

@@ -18,7 +18,7 @@ import (
 
 // flightKey identifies one deduplicated computation.
 type flightKey struct {
-	store *engine.Store
+	store engine.StoreView
 	key   string
 }
 

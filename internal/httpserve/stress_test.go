@@ -27,7 +27,7 @@ func (b *gateBackend) Answer(text string) serve.Answer {
 	return serve.Answer{Kind: serve.Summary, Text: "answer for " + text, Answered: true}
 }
 
-func (b *gateBackend) Store() *engine.Store { return b.store }
+func (b *gateBackend) Store() engine.StoreView { return b.store }
 
 // TestSingleflightExactlyOnce releases a burst of identical requests
 // that all miss the cache at once: exactly one must reach the backend;
@@ -90,7 +90,7 @@ func TestSingleflightExactlyOnce(t *testing.T) {
 // so a served answer names the exact generation it was computed from.
 type genBackend struct {
 	store atomic.Pointer[engine.Store]
-	gen   map[*engine.Store]int
+	gen   map[engine.StoreView]int
 }
 
 func (b *genBackend) Answer(text string) serve.Answer {
@@ -101,9 +101,9 @@ func (b *genBackend) Answer(text string) serve.Answer {
 	}
 }
 
-func (b *genBackend) Store() *engine.Store { return b.store.Load() }
+func (b *genBackend) Store() engine.StoreView { return b.store.Load() }
 
-func (b *genBackend) index(s *engine.Store) int { return b.gen[s] }
+func (b *genBackend) index(s engine.StoreView) int { return b.gen[s] }
 
 // TestStressCacheDuringSwaps hammers the cached answer path from many
 // goroutines with a mix of identical and distinct queries while the
@@ -114,7 +114,7 @@ func (b *genBackend) index(s *engine.Store) int { return b.gen[s] }
 func TestStressCacheDuringSwaps(t *testing.T) {
 	const generations = 24
 	stores := make([]*engine.Store, generations)
-	gen := make(map[*engine.Store]int, generations)
+	gen := make(map[engine.StoreView]int, generations)
 	for i := range stores {
 		stores[i] = engine.NewStore()
 		gen[stores[i]] = i
@@ -202,7 +202,7 @@ func TestStressRealAnswererSwap(t *testing.T) {
 	const generations = 6
 	rel := flightsRel()
 	stores := make([]*engine.Store, generations)
-	genOf := make(map[*engine.Store]int, generations)
+	genOf := make(map[engine.StoreView]int, generations)
 	for i := range stores {
 		stores[i] = buildFlightsStore(t, rel, 1,
 			fmt.Sprintf("cancellation probability (gen%03d)", i))

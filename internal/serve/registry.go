@@ -289,7 +289,7 @@ func (r *Registry) Swaps(name string) uint64 {
 // eviction cannot orphan the new store: the swap lands in the live
 // Answerer, re-installing the tenant if an eviction raced it — the
 // freshly built store is the newest data, so resurrecting is correct.
-func (r *Registry) SwapStore(ctx context.Context, name string, next *engine.Store) (*engine.Store, error) {
+func (r *Registry) SwapStore(ctx context.Context, name string, next engine.StoreView) (engine.StoreView, error) {
 	a, err := r.Get(ctx, name)
 	if err != nil {
 		return nil, err
@@ -316,7 +316,7 @@ func (r *Registry) SwapStore(ctx context.Context, name string, next *engine.Stor
 // hot-swaps the result in with zero downtime; on error the old store
 // keeps serving. The per-dataset analogue of Answerer.Rebuild. Like
 // SwapStore, the result survives a concurrent eviction.
-func (r *Registry) Rebuild(ctx context.Context, name string, build func(context.Context) (*engine.Store, error)) (*engine.Store, error) {
+func (r *Registry) Rebuild(ctx context.Context, name string, build func(context.Context) (engine.StoreView, error)) (engine.StoreView, error) {
 	// Resolve (and if needed load) the tenant first so an unknown name
 	// or failing loader surfaces before the expensive build.
 	if _, err := r.Get(ctx, name); err != nil {

@@ -214,7 +214,7 @@ func TestRegistryPerDatasetSwap(t *testing.T) {
 	}
 
 	// Rebuild path: build failure keeps the old store and counters.
-	if _, err := reg.Rebuild(context.Background(), "acs", func(context.Context) (*engine.Store, error) {
+	if _, err := reg.Rebuild(context.Background(), "acs", func(context.Context) (engine.StoreView, error) {
 		return nil, fmt.Errorf("build exploded")
 	}); err == nil {
 		t.Fatal("failed rebuild reported success")
@@ -224,7 +224,7 @@ func TestRegistryPerDatasetSwap(t *testing.T) {
 	}
 	rebuilt := engine.NewStore()
 	rebuilt.Add(&engine.StoredSpeech{Query: engine.Query{Target: "hearing"}, Text: "rebuilt"})
-	if _, err := reg.Rebuild(context.Background(), "acs", func(context.Context) (*engine.Store, error) {
+	if _, err := reg.Rebuild(context.Background(), "acs", func(context.Context) (engine.StoreView, error) {
 		return rebuilt, nil
 	}); err != nil {
 		t.Fatal(err)
@@ -299,7 +299,7 @@ func TestRegistryRebuildSurvivesEviction(t *testing.T) {
 
 	rebuilt := engine.NewStore()
 	rebuilt.Add(&engine.StoredSpeech{Query: engine.Query{Target: "hearing"}, Text: "rebuilt mid-evict"})
-	if _, err := reg.Rebuild(context.Background(), "acs", func(context.Context) (*engine.Store, error) {
+	if _, err := reg.Rebuild(context.Background(), "acs", func(context.Context) (engine.StoreView, error) {
 		// The janitor fires while the build is in flight.
 		if !reg.Evict("acs") {
 			t.Error("evict during build found nothing loaded")

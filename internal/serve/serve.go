@@ -108,21 +108,30 @@ type Options struct {
 	MinExtremumRows int
 }
 
+// storeRef boxes the live StoreView so it can sit behind an
+// atomic.Pointer: the dynamic type may change across swaps (heap store
+// one generation, mmap-backed snapshot view the next), which rules out
+// atomic.Value (it panics on inconsistently typed stores).
+type storeRef struct{ v engine.StoreView }
+
 // Answerer is the serving front door. Create one per (relation, store)
 // pair with New and share it freely across goroutines. The live store is
 // held behind an atomic pointer so SwapStore/Rebuild can replace it
-// while answers are being served.
+// while answers are being served — including across representation
+// changes, e.g. swapping a heap-decoded store for an mmap-backed
+// snapshot view.
 type Answerer struct {
 	rel   *relation.Relation
-	store atomic.Pointer[engine.Store]
+	store atomic.Pointer[storeRef]
 	ex    *voice.Extractor
 	opts  Options
 	help  string
 }
 
-// New builds an Answerer. The store is frozen as a side effect: serving
-// and mutation do not mix.
-func New(rel *relation.Relation, store *engine.Store, ex *voice.Extractor, opts Options) *Answerer {
+// New builds an Answerer over any store view. A heap store is frozen as
+// a side effect: serving and mutation do not mix; views immutable by
+// construction (snapshot.Map) pass through untouched.
+func New(rel *relation.Relation, store engine.StoreView, ex *voice.Extractor, opts Options) *Answerer {
 	if opts.MinExtremumRows <= 0 {
 		opts.MinExtremumRows = 10
 	}
@@ -134,27 +143,31 @@ func New(rel *relation.Relation, store *engine.Store, ex *voice.Extractor, opts 
 			strings.Join(rel.Schema().Targets, ", "),
 			strings.Join(rel.Schema().Dimensions, ", ")),
 	}
-	a.store.Store(store.Freeze())
+	a.store.Store(&storeRef{v: engine.Seal(store)})
 	return a
 }
 
-// Store returns the live speech store (always frozen). The reference is
+// Store returns the live store view (always sealed). The reference is
 // a snapshot: a concurrent SwapStore does not affect it.
-func (a *Answerer) Store() *engine.Store {
-	return a.store.Load()
+func (a *Answerer) Store() engine.StoreView {
+	return a.store.Load().v
 }
 
-// SwapStore atomically replaces the live speech store with next and
-// returns the previous one. The next store is frozen as a side effect;
-// in-flight answers keep serving from the store they loaded, new answers
+// SwapStore atomically replaces the live store view with next and
+// returns the previous one. A heap store is frozen as a side effect;
+// in-flight answers keep serving from the view they loaded, new answers
 // see the replacement immediately — there is no pause and no lock. This
 // is the zero-downtime path for periodic re-summarization: pre-process a
 // fresh store in the background (the pipeline package), then swap it in.
-func (a *Answerer) SwapStore(next *engine.Store) *engine.Store {
+// When the replaced generation is an mmap-backed snapshot view, its
+// region stays mapped until the last in-flight answer's speeches become
+// unreachable (snapshot.Map's finalizer guard), so no answer can ever
+// touch unmapped memory.
+func (a *Answerer) SwapStore(next engine.StoreView) engine.StoreView {
 	if next == nil {
 		panic("serve: SwapStore with nil store")
 	}
-	return a.store.Swap(next.Freeze())
+	return a.store.Swap(&storeRef{v: engine.Seal(next)}).v
 }
 
 // Rebuild re-runs pre-processing through the supplied build function and
@@ -162,11 +175,11 @@ func (a *Answerer) SwapStore(next *engine.Store) *engine.Store {
 // Serving continues from the old store for the whole build; on error the
 // old store stays live. Typical use wires the pipeline in:
 //
-//	old, err := a.Rebuild(ctx, func(ctx context.Context) (*engine.Store, error) {
+//	old, err := a.Rebuild(ctx, func(ctx context.Context) (engine.StoreView, error) {
 //		store, _, err := pipeline.Run(ctx, rel, cfg, opts)
 //		return store, err
 //	})
-func (a *Answerer) Rebuild(ctx context.Context, build func(context.Context) (*engine.Store, error)) (*engine.Store, error) {
+func (a *Answerer) Rebuild(ctx context.Context, build func(context.Context) (engine.StoreView, error)) (engine.StoreView, error) {
 	next, err := build(ctx)
 	if err != nil {
 		return nil, err
@@ -223,7 +236,7 @@ func (a *Answerer) route(c voice.Classification, text string) Answer {
 // The store pointer is loaded once per answer, so a concurrent swap can
 // never mix two stores within one request.
 func (a *Answerer) answerSummary(q engine.Query) Answer {
-	store := a.store.Load()
+	store := a.store.Load().v
 	sp, exact, ok := store.Match(q)
 	if !ok {
 		text := "I have no answer for that data subset."
@@ -353,7 +366,13 @@ func (s *Session) Answer(text string) Answer {
 		return ans
 	}
 	if ans.Answered && ans.Kind != Help {
-		s.last = ans.Text
+		// Clone: a summary Text may be a zero-copy view into an mmapped
+		// snapshot, and a bare string does not keep the mapping alive the
+		// way the Answer's Matched speech pointer does. The session can
+		// outlive the store generation the answer came from (SwapStore
+		// unmaps once all its speeches are unreachable), so retained text
+		// must own its bytes.
+		s.last = strings.Clone(ans.Text)
 	}
 	return ans
 }

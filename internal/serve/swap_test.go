@@ -54,7 +54,7 @@ func TestSwapStoreConcurrent(t *testing.T) {
 	swapperWG.Add(1)
 	go func() {
 		defer swapperWG.Done()
-		cur := gen2
+		var cur engine.StoreView = gen2
 		for {
 			select {
 			case <-stop:
@@ -83,17 +83,17 @@ func TestSwapStoreConcurrent(t *testing.T) {
 		t.Errorf("%d answers failed during store swaps", n)
 	}
 	live := a.Store()
-	if live != gen1 && live != gen2 {
+	if live != engine.StoreView(gen1) && live != engine.StoreView(gen2) {
 		t.Error("live store is neither generation")
 	}
-	if !live.Frozen() {
-		t.Error("live store must be frozen")
+	if hs, ok := live.(*engine.Store); !ok || !hs.Frozen() {
+		t.Error("live store must be a frozen heap store")
 	}
 }
 
 func TestRebuildSwapsOnSuccess(t *testing.T) {
 	a, gen1, gen2 := swapFixture(t)
-	old, err := a.Rebuild(context.Background(), func(ctx context.Context) (*engine.Store, error) {
+	old, err := a.Rebuild(context.Background(), func(ctx context.Context) (engine.StoreView, error) {
 		return gen2, nil
 	})
 	if err != nil {
@@ -127,7 +127,7 @@ func TestRebuildSwapsOnSuccess(t *testing.T) {
 func TestRebuildKeepsOldStoreOnError(t *testing.T) {
 	a, gen1, _ := swapFixture(t)
 	boom := errors.New("boom")
-	if _, err := a.Rebuild(context.Background(), func(ctx context.Context) (*engine.Store, error) {
+	if _, err := a.Rebuild(context.Background(), func(ctx context.Context) (engine.StoreView, error) {
 		return nil, boom
 	}); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
@@ -135,7 +135,7 @@ func TestRebuildKeepsOldStoreOnError(t *testing.T) {
 	if a.Store() != gen1 {
 		t.Error("failed rebuild must keep the old store live")
 	}
-	if _, err := a.Rebuild(context.Background(), func(ctx context.Context) (*engine.Store, error) {
+	if _, err := a.Rebuild(context.Background(), func(ctx context.Context) (engine.StoreView, error) {
 		return nil, nil
 	}); err == nil {
 		t.Error("nil store from build must error")

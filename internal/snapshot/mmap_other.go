@@ -1,0 +1,17 @@
+//go:build !unix
+
+package snapshot
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported gates the zero-copy load path; without a platform mmap
+// the loader falls back to reading the file into memory — identical
+// semantics, no page sharing.
+const mmapSupported = false
+
+func mmapFile(_ *os.File, _ int64) ([]byte, func() error, error) {
+	return nil, nil, errors.New("snapshot: no mmap on this platform")
+}

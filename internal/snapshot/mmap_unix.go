@@ -1,0 +1,26 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy load path; on unix it is real mmap.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and returns the mapping plus
+// its unmap function. MAP_SHARED keeps the pages file-backed, so the
+// kernel evicts them under pressure instead of swapping, and multiple
+// processes serving the same snapshot share one physical copy.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if int64(int(size)) != size {
+		return nil, nil, corruptf("snapshot of %d bytes exceeds the addressable mapping size", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -62,23 +62,39 @@ func Decode(data []byte, rel *relation.Relation) (*engine.Store, error) {
 	return rd.buildStore(meta, rel)
 }
 
-// Info returns the snapshot's metadata after full integrity
-// verification, without rebuilding the store.
+// Info returns the snapshot's metadata without rebuilding the store.
+// The header checksum, format version, and every structural bound are
+// verified; the payload checksum is not — metadata reads are a boot
+// fast path, and the payload is checksummed once by whichever full
+// load (Decode or Map.Verify) follows. A corrupt meta or string
+// section still surfaces as ErrCorrupt through the bounds checks.
 func Info(data []byte) (Meta, error) {
-	_, meta, err := open(data)
+	_, meta, err := openStructural(data)
 	if err != nil {
 		return Meta{}, err
 	}
 	return meta, nil
 }
 
-// InfoFile returns the metadata of the snapshot at path; see Info.
+// InfoFile returns the metadata of the snapshot at path; see Info. On
+// platforms with mmap support the file is mapped rather than read, so
+// only the header, section table, meta, and string-table pages are
+// faulted in — O(pages needed), not O(file) — which is what lets a
+// daemon hosting hundreds of snapshots scan their provenance cheaply
+// at boot.
 func InfoFile(path string) (Meta, error) {
-	data, err := os.ReadFile(path)
+	data, closer, err := mapWhole(path)
 	if err != nil {
 		return Meta{}, err
 	}
-	return Info(data)
+	meta, infoErr := Info(data)
+	if closer != nil {
+		// Meta strings are copies, never views, so unmapping here is safe.
+		if err := closer(); err != nil && infoErr == nil {
+			return Meta{}, err
+		}
+	}
+	return meta, infoErr
 }
 
 // check validates the snapshot's provenance against the relation it is
@@ -99,9 +115,37 @@ func (m Meta) check(rel *relation.Relation) error {
 	return nil
 }
 
-// open verifies header, checksums, section table, string table, and
-// meta section, returning a reader positioned over the sections.
+// open verifies header, checksums (payload included), section table,
+// string table, and meta section, returning a reader positioned over
+// the sections — the full pre-decode verification.
 func open(data []byte) (*reader, Meta, error) {
+	rd, meta, err := openStructural(data)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	if err := verifyPayload(data); err != nil {
+		return nil, Meta{}, err
+	}
+	return rd, meta, nil
+}
+
+// verifyPayload checks the payload checksum recorded in an
+// already-header-verified snapshot.
+func verifyPayload(data []byte) error {
+	hdr, payload := data[:headerSize], data[headerSize:]
+	if got := crc32.Checksum(payload, castagnoli); got != le.Uint32(hdr[offPayloadCRC:]) {
+		return corruptf("payload checksum mismatch (computed %08x, stored %08x)",
+			got, le.Uint32(hdr[offPayloadCRC:]))
+	}
+	return nil
+}
+
+// openStructural verifies the header (magic, header checksum, version,
+// payload size), section table, string table, and meta section — every
+// structural bound, but not the payload checksum. The mmap reader
+// builds on this so mapping a snapshot faults in only the pages the
+// index needs, deferring the full-file checksum scan to Verify.
+func openStructural(data []byte) (*reader, Meta, error) {
 	if len(data) < headerSize {
 		return nil, Meta{}, corruptf("file of %d bytes is smaller than the %d-byte header", len(data), headerSize)
 	}
@@ -121,10 +165,6 @@ func open(data []byte) (*reader, Meta, error) {
 	if size := le.Uint64(hdr[offPayloadSize:]); size != uint64(len(payload)) {
 		return nil, Meta{}, corruptf("truncated: header declares %d payload bytes, file carries %d",
 			size, len(payload))
-	}
-	if got := crc32.Checksum(payload, castagnoli); got != le.Uint32(hdr[offPayloadCRC:]) {
-		return nil, Meta{}, corruptf("payload checksum mismatch (computed %08x, stored %08x)",
-			got, le.Uint32(hdr[offPayloadCRC:]))
 	}
 
 	nSections := int(le.Uint32(hdr[offSectionCount:]))
@@ -257,6 +297,26 @@ func (rd *reader) csr(id uint32, wantLen, flatLen int, what string) ([]uint32, e
 		return nil, corruptf("%s offsets end at %d, flat section holds %d entries", what, offs[wantLen-1], flatLen)
 	}
 	return offs, nil
+}
+
+// checkFactSections validates the fact-side CSR sections without
+// materializing any fact — the structural half of the mmap view's
+// deferred Verify (the view itself never dereferences these sections).
+func (rd *reader) checkFactSections(n int) error {
+	factVals := rd.sections[secFactValues]
+	if len(factVals)%8 != 0 {
+		return corruptf("fact-value section of %d bytes is not 8-byte aligned", len(factVals))
+	}
+	scopePairs := rd.sections[secScopePairs]
+	if len(scopePairs)%8 != 0 {
+		return corruptf("scope-pair section of %d bytes is not pair-aligned", len(scopePairs))
+	}
+	nFacts := len(factVals) / 8
+	if _, err := rd.csr(secFactStart, n+1, nFacts, "fact"); err != nil {
+		return err
+	}
+	_, err := rd.csr(secScopeStart, nFacts+1, len(scopePairs)/8, "scope")
+	return err
 }
 
 // buildStore reconstructs the frozen store from the validated sections.
