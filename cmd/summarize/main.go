@@ -28,6 +28,7 @@ import (
 
 	"cicero/internal/dataset"
 	"cicero/internal/engine"
+	"cicero/internal/experiments"
 	"cicero/internal/pipeline"
 	"cicero/internal/relation"
 	"cicero/internal/snapshot"
@@ -47,6 +48,8 @@ func main() {
 		seed       = flag.Int64("seed", 1, "data generation seed")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-problem timeout for the exact algorithm")
 		workers    = flag.Int("workers", 1, "parallel problem solvers")
+		kernelW    = flag.Int("kernel-workers", 0, "search goroutines per problem for the E-P solver (0: divide cores among problem solvers, <0: all cores)")
+		warmStart  = flag.Bool("warmstart", true, "seed the E-P solver's incumbent from the greedy speech (and the ML prediction when attached)")
 		checkpoint = flag.String("checkpoint", "", "checkpoint file: record completed problems for crash/cancel recovery")
 		resume     = flag.Bool("resume", false, "resume from an existing checkpoint instead of refusing to reuse it")
 		out        = flag.String("out", "", "write the speech store to this JSON file")
@@ -93,7 +96,7 @@ func main() {
 		// artifact matches its own -seed/-maxlen/-solver flags.
 		SnapshotPath:        *snapOut,
 		SnapshotFingerprint: pipeline.Fingerprint(*seed, cfg, solverName),
-		Solve:               summarize.Options{Timeout: *timeout},
+		Solve:               summarize.Options{Timeout: *timeout, Workers: *kernelW, WarmStart: *warmStart},
 		Progress: func(p pipeline.Progress) {
 			if p.Done%500 == 0 || p.Done == p.Total {
 				fmt.Fprintf(os.Stderr, "\rpre-processing %d/%d (failed %d, resumed %d)",
@@ -191,24 +194,32 @@ func main() {
 
 // writeBenchArtifact records the batch statistics as a stable JSON
 // shape, so CI runs can be diffed against the committed
-// BENCH_summarize.json baseline.
+// BENCH_summarize.json baseline. Besides the pipeline's batch numbers
+// it runs the exact-kernel probe (experiments.RunExactKernelProbe):
+// sequential-vs-parallel solve times and the warm-vs-cold incumbent
+// node counts on one deterministic instance, with the parallel worker
+// count pinned at 4 so the committed baseline is independent of the
+// builder's core count (timings are ratio-compared by CI, the node
+// counts exactly).
 func writeBenchArtifact(path string, rel *relation.Relation, solverName string, cfg engine.Config, stats pipeline.Stats) error {
+	kernel := experiments.RunExactKernelProbe(1, 4)
 	artifact := struct {
-		Dataset     string  `json:"dataset"`
-		Rows        int     `json:"rows"`
-		Solver      string  `json:"solver"`
-		MaxQueryLen int     `json:"max_query_len"`
-		Problems    int     `json:"problems"`
-		Speeches    int     `json:"speeches"`
-		ElapsedNS   int64   `json:"elapsed_ns"`
-		PerQueryNS  int64   `json:"per_query_ns"`
-		AvgUtility  float64 `json:"avg_scaled_utility"`
-		EvaluateNS  int64   `json:"stage_evaluate_ns"`
-		SolveNS     int64   `json:"stage_solve_ns"`
-		RenderNS    int64   `json:"stage_render_ns"`
-		SinkNS      int64   `json:"stage_sink_ns"`
-		TimedOut    int     `json:"timed_out"`
-		Failed      int     `json:"failed"`
+		Dataset     string                       `json:"dataset"`
+		Rows        int                          `json:"rows"`
+		Solver      string                       `json:"solver"`
+		MaxQueryLen int                          `json:"max_query_len"`
+		Problems    int                          `json:"problems"`
+		Speeches    int                          `json:"speeches"`
+		ElapsedNS   int64                        `json:"elapsed_ns"`
+		PerQueryNS  int64                        `json:"per_query_ns"`
+		AvgUtility  float64                      `json:"avg_scaled_utility"`
+		EvaluateNS  int64                        `json:"stage_evaluate_ns"`
+		SolveNS     int64                        `json:"stage_solve_ns"`
+		RenderNS    int64                        `json:"stage_render_ns"`
+		SinkNS      int64                        `json:"stage_sink_ns"`
+		TimedOut    int                          `json:"timed_out"`
+		Failed      int                          `json:"failed"`
+		ExactKernel experiments.ExactKernelProbe `json:"exact_kernel"`
 	}{
 		Dataset:     rel.Name(),
 		Rows:        rel.NumRows(),
@@ -225,6 +236,7 @@ func writeBenchArtifact(path string, rel *relation.Relation, solverName string, 
 		SinkNS:      stats.Stages.Sink.Nanoseconds(),
 		TimedOut:    stats.TimedOut,
 		Failed:      stats.Failed,
+		ExactKernel: kernel,
 	}
 	data, err := json.MarshalIndent(artifact, "", "  ")
 	if err != nil {

@@ -46,9 +46,9 @@ func TestFigure3SmallRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 8 scenarios × 4 algorithms.
-	if len(res.Rows) != 32 {
-		t.Fatalf("rows = %d, want 32", len(res.Rows))
+	// 8 scenarios × 5 algorithms (E, E-P, G-B, G-P, G-O).
+	if len(res.Rows) != 40 {
+		t.Fatalf("rows = %d, want 40", len(res.Rows))
 	}
 	// Greedy variants must agree on utility; exact at least as good.
 	byScenario := map[string]map[string]Figure3Row{}
@@ -66,8 +66,18 @@ func TestFigure3SmallRun(t *testing.T) {
 		if diff := gb.AvgScaledUtility - gopt.AvgScaledUtility; diff > 1e-9 || diff < -1e-9 {
 			t.Errorf("%s: G-B %v vs G-O %v", sc, gb.AvgScaledUtility, gopt.AvgScaledUtility)
 		}
-		if e := algs["E"]; e.AvgScaledUtility < gb.AvgScaledUtility-1e-9 {
+		e, ep := algs["E"], algs["E-P"]
+		if e.AvgScaledUtility < gb.AvgScaledUtility-1e-9 {
 			t.Errorf("%s: exact %v below greedy %v", sc, e.AvgScaledUtility, gb.AvgScaledUtility)
+		}
+		if ep.AvgScaledUtility < gb.AvgScaledUtility-1e-9 {
+			t.Errorf("%s: parallel exact %v below greedy %v", sc, ep.AvgScaledUtility, gb.AvgScaledUtility)
+		}
+		// With no timeouts both exact solvers are optimal and must agree.
+		if e.TimedOut == 0 && ep.TimedOut == 0 {
+			if diff := e.AvgScaledUtility - ep.AvgScaledUtility; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("%s: E %v vs E-P %v", sc, e.AvgScaledUtility, ep.AvgScaledUtility)
+			}
 		}
 		// Utility within [0, 1].
 		for alg, row := range algs {

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"testing"
+	"time"
 
 	"cicero/internal/fact"
 	"cicero/internal/relation"
@@ -109,7 +110,141 @@ func KernelBench(seed int64) *KernelBenchReport {
 			summarize.ReleaseEvaluator(e)
 		}
 	})
+	for _, workers := range []int{1, 4} {
+		record(fmt.Sprintf("ExactParallelSolve/w%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := summarize.AcquireEvaluator(xview, 0, xfacts, xprior)
+				g := summarize.Greedy(e, summarize.Options{MaxFacts: 3})
+				summarize.ExactParallel(e, summarize.Options{MaxFacts: 3, LowerBound: g.Utility, Workers: workers})
+				summarize.ReleaseEvaluator(e)
+			}
+		})
+	}
 	return report
+}
+
+// ExactKernelProbe measures the exact-search kernel on one deterministic
+// problem instance: the sequential kernel with a cold and a greedy-warm
+// incumbent, and the parallel kernel at a pinned worker count. The node
+// counts come from the sequential runs, which are scheduling-independent
+// — CI diffs them exactly against the committed baseline, while the
+// timing fields are only ratio-compared (they move with the runner).
+type ExactKernelProbe struct {
+	// Workers is the parallel kernel's pinned worker count (constant in
+	// the committed baseline regardless of the builder's core count).
+	Workers int `json:"workers"`
+	// Rows and MaxFacts identify the probe instance.
+	Rows     int `json:"rows"`
+	MaxFacts int `json:"max_facts"`
+	// SequentialColdNS / SequentialWarmNS / ParallelWarmNS are the solve
+	// times (best of three) for the sequential cold-incumbent,
+	// sequential greedy-warm, and parallel greedy-warm runs.
+	SequentialColdNS int64 `json:"sequential_cold_ns"`
+	SequentialWarmNS int64 `json:"sequential_warm_ns"`
+	ParallelWarmNS   int64 `json:"parallel_warm_ns"`
+	// ParallelSpeedup is SequentialWarmNS / ParallelWarmNS.
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+	// ColdNodesExpanded / WarmNodesExpanded are the sequential search's
+	// node counts without and with the greedy seed (deterministic; warm
+	// must be strictly below cold on any non-trivial instance).
+	ColdNodesExpanded int64 `json:"cold_nodes_expanded"`
+	WarmNodesExpanded int64 `json:"warm_nodes_expanded"`
+	// DominatedSkipped counts the sequential warm run's dominance-pruned
+	// extensions (deterministic).
+	DominatedSkipped int64 `json:"dominated_skipped"`
+}
+
+// probeInstance builds the exact-kernel probe's problem: the
+// micro-benchmark dimensions over a pure-noise target. With no modal
+// structure for low-order facts to explain away, hundreds of candidate
+// facts stay near-tied and the canonical enumeration genuinely
+// branches — tens of thousands of nodes instead of the handful the
+// structured micro-benchmark instance closes after.
+func probeInstance(seed int64, rows, maxDims int) (*relation.View, []fact.Fact, fact.Prior) {
+	rng := rand.New(rand.NewSource(seed))
+	b := relation.NewBuilder("kernelprobe", relation.Schema{
+		Dimensions: []string{"a", "b", "c"},
+		Targets:    []string{"v"},
+	})
+	av := []string{"a0", "a1", "a2", "a3"}
+	bv := []string{"b0", "b1", "b2"}
+	cv := []string{"c0", "c1"}
+	for i := 0; i < rows; i++ {
+		b.MustAddRow(
+			[]string{av[rng.Intn(len(av))], bv[rng.Intn(len(bv))], cv[rng.Intn(len(cv))]},
+			[]float64{rng.NormFloat64() * 10},
+		)
+	}
+	rel := b.Freeze()
+	view := rel.FullView()
+	facts := fact.Generate(view, 0, fact.GenerateOptions{MaxDims: maxDims})
+	return view, facts, fact.MeanPrior(view, 0)
+}
+
+// RunExactKernelProbe runs the probe on the standard instance: the
+// noise-target relation at 6000 rows with six-fact speeches, which
+// drives the exact enumeration through ~22k nodes (~100ms
+// sequentially) — long enough that the parallel kernel's speedup is
+// measurable above its fork/join overhead, short enough for a CI smoke
+// step.
+func RunExactKernelProbe(seed int64, workers int) ExactKernelProbe {
+	const (
+		rows     = 6000
+		maxDims  = 3
+		maxFacts = 6
+	)
+	view, facts, prior := probeInstance(seed, rows, maxDims)
+	probe := ExactKernelProbe{Workers: workers, Rows: rows, MaxFacts: maxFacts}
+
+	timeBest := func(runs int, fn func() summarize.Summary) (int64, summarize.Summary) {
+		best := int64(0)
+		var sum summarize.Summary
+		for r := 0; r < runs; r++ {
+			start := time.Now()
+			s := fn()
+			ns := time.Since(start).Nanoseconds()
+			if best == 0 || ns < best {
+				best = ns
+			}
+			sum = s
+		}
+		return best, sum
+	}
+
+	seedU := func() float64 {
+		e := summarize.AcquireEvaluator(view, 0, facts, prior)
+		defer summarize.ReleaseEvaluator(e)
+		return summarize.Greedy(e, summarize.Options{MaxFacts: maxFacts}).Utility
+	}()
+
+	ns, cold := timeBest(3, func() summarize.Summary {
+		e := summarize.AcquireEvaluator(view, 0, facts, prior)
+		defer summarize.ReleaseEvaluator(e)
+		return summarize.Exact(e, summarize.Options{MaxFacts: maxFacts})
+	})
+	probe.SequentialColdNS = ns
+	probe.ColdNodesExpanded = cold.Stats.NodesExpanded
+
+	ns, warm := timeBest(3, func() summarize.Summary {
+		e := summarize.AcquireEvaluator(view, 0, facts, prior)
+		defer summarize.ReleaseEvaluator(e)
+		return summarize.Exact(e, summarize.Options{MaxFacts: maxFacts, LowerBound: seedU})
+	})
+	probe.SequentialWarmNS = ns
+	probe.WarmNodesExpanded = warm.Stats.NodesExpanded
+	probe.DominatedSkipped = warm.Stats.DominatedSkipped
+
+	ns, _ = timeBest(3, func() summarize.Summary {
+		e := summarize.AcquireEvaluator(view, 0, facts, prior)
+		defer summarize.ReleaseEvaluator(e)
+		return summarize.ExactParallel(e, summarize.Options{MaxFacts: maxFacts, LowerBound: seedU, Workers: workers})
+	})
+	probe.ParallelWarmNS = ns
+	if ns > 0 {
+		probe.ParallelSpeedup = float64(probe.SequentialWarmNS) / float64(ns)
+	}
+	return probe
 }
 
 // WriteKernelBench runs KernelBench and writes the JSON report to path

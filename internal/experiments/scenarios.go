@@ -57,6 +57,14 @@ type ScenarioParams struct {
 	// Workers bounds concurrent problem solving in the pre-processing
 	// pipeline (0 or 1 = sequential).
 	Workers int
+	// KernelWorkers bounds the subtree-level parallelism of the E-P
+	// algorithm's exact kernel (0 = divide the cores across the
+	// pipeline's problem solvers; <0 = all cores per problem).
+	KernelWorkers int
+	// WarmStart enables incumbent seeding for E-P: the greedy speech
+	// seeds the exact search's pruning bound. Never changes results,
+	// only shrinks the search.
+	WarmStart bool
 }
 
 // DefaultScenarioParams returns the scaled-down default setting.
@@ -68,6 +76,7 @@ func DefaultScenarioParams() ScenarioParams {
 		MaxQueryLen:   2,
 		MaxFactDims:   2,
 		MaxFacts:      3,
+		WarmStart:     true,
 	}
 }
 
@@ -136,8 +145,9 @@ type Figure3Result struct {
 }
 
 // Figure3 runs the pre-processing comparison of Figure 3: the exact
-// algorithm E against the greedy variants G-B, G-P and G-O on eight
-// scenario/target combinations.
+// algorithms E and E-P (the parallel kernel, warm-started per
+// params.WarmStart) against the greedy variants G-B, G-P and G-O on
+// eight scenario/target combinations.
 func Figure3(params ScenarioParams) (*Figure3Result, error) {
 	cache := relCache{}
 	res := &Figure3Result{Params: params}
@@ -156,7 +166,11 @@ func Figure3(params ScenarioParams) (*Figure3Result, error) {
 			_, stats, err := pipeline.RunProblems(context.Background(), rel, cfg, problems, pipeline.Options{
 				Solver:  string(alg),
 				Workers: params.Workers,
-				Solve:   summarize.Options{Timeout: params.ExactTimeout},
+				Solve: summarize.Options{
+					Timeout:   params.ExactTimeout,
+					Workers:   params.KernelWorkers,
+					WarmStart: params.WarmStart,
+				},
 			})
 			if err != nil {
 				return nil, err

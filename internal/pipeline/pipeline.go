@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"strings"
 	"time"
 
@@ -261,6 +262,19 @@ func run(ctx context.Context, rel *relation.Relation, cfg engine.Config, source 
 	}
 	baseOpts := opts.Solve
 	baseOpts.MaxFacts = cfg.MaxFacts
+	if baseOpts.Workers == 0 {
+		// Global worker budget: problem-level parallelism (solve workers)
+		// multiplied by subtree-level parallelism (the E-P kernel's
+		// search goroutines) should not oversubscribe the machine. When
+		// the caller doesn't pin the kernel width, divide the cores among
+		// the solve workers; an explicit opts.Solve.Workers (or a
+		// negative value, meaning "all cores") overrides the budget.
+		if kw := runtime.GOMAXPROCS(0) / workers; kw > 1 {
+			baseOpts.Workers = kw
+		} else {
+			baseOpts.Workers = 1
+		}
+	}
 
 	// Internal cancellation lets the sink abort the producer and workers
 	// on a fatal failure without cancelling the caller's ctx.

@@ -81,12 +81,17 @@ type Evaluator struct {
 
 	// Incremental exact-DFS state: deviations along the current search
 	// path with an undo log, the running utility, and the join-size
-	// accounting of the path (see ExactCtx).
-	pathDev  []float64
-	undoRow  []int32
-	undoVal  []float64
-	pathU    float64
-	pathPost int64
+	// accounting of the path (see ExactCtx). The state is factored into
+	// its own struct so the parallel exact search can give every worker
+	// a private clone over the evaluator's shared read-only layout.
+	path pathState
+
+	// Dominance signatures for the exact search (see dominanceReps):
+	// domRep[fi] is the canonical representative of fi's duplicate class.
+	domRep   []int32
+	domCnt   []int32
+	domHash  map[uint64]int32
+	domBuilt bool
 
 	// Reusable build + solve scratch.
 	byMask     map[uint64]int32 // dim-set mask → group (NumDims ≤ 64)
@@ -228,6 +233,7 @@ func (e *Evaluator) Reset(view *relation.View, target int, facts []fact.Fact, pr
 	e.touched = growI32(e.touched, n)[:0]
 	e.priorSum = 0
 	e.JoinedRows = 0
+	e.domBuilt = false
 	col := view.Rel.Target(target)
 	for i := 0; i < n; i++ {
 		row := view.Row(i)
@@ -560,51 +566,144 @@ func (e *Evaluator) SpeechUtility(factIdx []int32) float64 {
 	return u
 }
 
-// beginPath initializes the incremental speech-evaluation state used by
-// the exact algorithm's DFS: path deviations start at the prior and the
-// running utility at zero.
-func (e *Evaluator) beginPath() {
-	n := e.view.NumRows()
-	e.pathDev = growF64(e.pathDev, n)
-	copy(e.pathDev, e.priorDev[:n])
-	e.undoRow = e.undoRow[:0]
-	e.undoVal = e.undoVal[:0]
-	e.pathU = 0
-	e.pathPost = 0
+// pathState is the incremental speech-evaluation state of one exact-DFS
+// walker: per-row deviations along the current search path with an undo
+// log, the running utility, and the join-size accounting of the path.
+// It only reads the evaluator's immutable per-problem layout (postings,
+// truth, priors, fact values), so any number of pathStates may walk the
+// same evaluator concurrently — the parallel exact search gives each
+// worker its own.
+type pathState struct {
+	dev     []float64
+	undoRow []int32
+	undoVal []float64
+	u       float64
+	post    int64
 }
 
-// pushFact folds fact fi into the path state — O(|scope of fi|) — and
-// returns the undo-log mark for the matching popFact. Only rows whose
+// begin initializes the path state for e: deviations start at the prior
+// and the running utility at zero.
+func (p *pathState) begin(e *Evaluator) {
+	n := e.view.NumRows()
+	p.dev = growF64(p.dev, n)
+	copy(p.dev, e.priorDev[:n])
+	p.undoRow = p.undoRow[:0]
+	p.undoVal = p.undoVal[:0]
+	p.u = 0
+	p.post = 0
+}
+
+// push folds fact fi into the path state — O(|scope of fi|) — and
+// returns the undo-log mark for the matching pop. Only rows whose
 // deviation improves are logged, so evaluating a leaf after the push is
-// free: e.pathU already is the speech utility.
-func (e *Evaluator) pushFact(fi int32) int {
-	mark := len(e.undoRow)
+// free: p.u already is the speech utility.
+func (p *pathState) push(e *Evaluator, fi int32) int {
+	mark := len(p.undoRow)
 	v := e.facts[fi].Value
 	post := e.posting(int(fi))
 	for _, i := range post {
-		if d := math.Abs(v - e.truth[i]); d < e.pathDev[i] {
-			e.undoRow = append(e.undoRow, i)
-			e.undoVal = append(e.undoVal, e.pathDev[i])
-			e.pathU += e.pathDev[i] - d
-			e.pathDev[i] = d
+		if d := math.Abs(v - e.truth[i]); d < p.dev[i] {
+			p.undoRow = append(p.undoRow, i)
+			p.undoVal = append(p.undoVal, p.dev[i])
+			p.u += p.dev[i] - d
+			p.dev[i] = d
 		}
 	}
-	e.pathPost += int64(len(post))
+	p.post += int64(len(post))
 	return mark
 }
 
-// popFact rewinds the path state to mark. The caller passes back the
-// utility and join-size accounting saved before the matching pushFact, so
+// pop rewinds the path state to mark. The caller passes back the
+// utility and join-size accounting saved before the matching push, so
 // the restored values are exact — no floating-point drift accumulates
 // across sibling subtrees.
-func (e *Evaluator) popFact(mark int, savedU float64, savedPost int64) {
-	for k := len(e.undoRow) - 1; k >= mark; k-- {
-		e.pathDev[e.undoRow[k]] = e.undoVal[k]
+func (p *pathState) pop(mark int, savedU float64, savedPost int64) {
+	for k := len(p.undoRow) - 1; k >= mark; k-- {
+		p.dev[p.undoRow[k]] = p.undoVal[k]
 	}
-	e.undoRow = e.undoRow[:mark]
-	e.undoVal = e.undoVal[:mark]
-	e.pathU = savedU
-	e.pathPost = savedPost
+	p.undoRow = p.undoRow[:mark]
+	p.undoVal = p.undoVal[:mark]
+	p.u = savedU
+	p.post = savedPost
+}
+
+// dominanceReps computes the duplicate-class representative of every
+// fact: two facts share a class when their scope signatures (the exact
+// posting-list content of the materialized join) and values are
+// bitwise identical. Such facts are interchangeable for speech utility
+// — folding one in makes the other's marginal gain exactly zero — so
+// the exact search skips a fact whenever its representative class is
+// already on the search path (dominance pruning). The classes are
+// built lazily once per problem and reused by sequential and parallel
+// search alike; hash collisions degrade to self-representation, which
+// only forfeits pruning, never correctness.
+func (e *Evaluator) dominanceReps() []int32 {
+	if e.domBuilt {
+		return e.domRep
+	}
+	nf := len(e.facts)
+	e.domRep = growI32(e.domRep, nf)
+	if e.domHash == nil {
+		e.domHash = make(map[uint64]int32)
+	} else {
+		clear(e.domHash)
+	}
+	for fi := 0; fi < nf; fi++ {
+		h := uint64(14695981039346656037) // FNV-1a offset basis
+		mix := func(x uint64) {
+			for s := 0; s < 64; s += 8 {
+				h ^= (x >> uint(s)) & 0xff
+				h *= 1099511628211
+			}
+		}
+		mix(math.Float64bits(e.facts[fi].Value))
+		for _, r := range e.posting(fi) {
+			mix(uint64(uint32(r)))
+		}
+		rep, ok := e.domHash[h]
+		if ok && e.sameSignature(int(rep), fi) {
+			e.domRep[fi] = rep
+			continue
+		}
+		if !ok {
+			e.domHash[h] = int32(fi)
+		}
+		e.domRep[fi] = int32(fi)
+	}
+	e.domBuilt = true
+	return e.domRep
+}
+
+// sameSignature reports whether facts a and b have bitwise-identical
+// values and posting lists.
+func (e *Evaluator) sameSignature(a, b int) bool {
+	if math.Float64bits(e.facts[a].Value) != math.Float64bits(e.facts[b].Value) {
+		return false
+	}
+	pa, pb := e.posting(a), e.posting(b)
+	if len(pa) != len(pb) {
+		return false
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// domCntScratch returns the cleared per-class on-path counter used by
+// the sequential exact search's dominance pruning.
+func (e *Evaluator) domCntScratch() []int32 {
+	if cap(e.domCnt) < len(e.facts) {
+		e.domCnt = make([]int32, len(e.facts))
+	} else {
+		e.domCnt = e.domCnt[:len(e.facts)]
+		for i := range e.domCnt {
+			e.domCnt[i] = 0
+		}
+	}
+	return e.domCnt
 }
 
 // GreedyGain computes the marginal utility of adding fact fi to the

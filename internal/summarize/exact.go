@@ -75,13 +75,20 @@ func ExactCtx(ctx context.Context, e *Evaluator, opts Options) Summary {
 	}
 	watchCtx := ctx.Done() != nil
 
-	e.beginPath()
+	// Dominance pruning: skip a fact whose scope+value signature class
+	// is already represented on the search path — its marginal gain is
+	// exactly zero, so no speech through it can strictly improve on its
+	// dominance-free counterpart.
+	dom := e.dominanceReps()
+	domCnt := e.domCntScratch()
+
+	e.path.begin(e)
 	chosen := make([]int32, 0, m)
 	evaluate := func() {
 		// The incremental path state already holds the utility of the
 		// chosen speech; charge the counter the speech's join size.
-		u := e.pathU
-		e.JoinedRows += e.pathPost
+		u := e.path.u
+		e.JoinedRows += e.path.post
 		stats.SpeechesEvaluated++
 		if u > bestU {
 			bestU = u
@@ -141,13 +148,22 @@ func ExactCtx(ctx context.Context, e *Evaluator, opts Options) Summary {
 			if sumU+float64(remaining)*u < b-pruneEps {
 				break
 			}
+			if domCnt[dom[fi]] > 0 {
+				// An equal-signature fact is already on the path: fi's
+				// marginal gain is exactly zero. Skip it (but keep
+				// scanning later facts — this is a skip, not a bound cut).
+				stats.DominatedSkipped++
+				continue
+			}
 			stats.NodesExpanded++
 			extended = true
 			chosen = append(chosen, fi)
-			savedU, savedPost := e.pathU, e.pathPost
-			mark := e.pushFact(fi)
+			domCnt[dom[fi]]++
+			savedU, savedPost := e.path.u, e.path.post
+			mark := e.path.push(e, fi)
 			dfs(i+1, sumU+u)
-			e.popFact(mark, savedU, savedPost)
+			e.path.pop(mark, savedU, savedPost)
+			domCnt[dom[fi]]--
 			chosen = chosen[:len(chosen)-1]
 			if timedOut || cancelled {
 				return

@@ -1,6 +1,7 @@
 package summarize
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -81,5 +82,28 @@ func BenchmarkExactSolve(b *testing.B) {
 		if sum.Utility < g.Utility-1e-9 {
 			b.Fatal("exact below greedy seed")
 		}
+	}
+}
+
+// BenchmarkExactParallelSolve measures the same per-problem exact solve
+// through the parallel kernel at fixed worker counts, for side-by-side
+// comparison with BenchmarkExactSolve (w1 isolates the task-queue
+// overhead; w4 shows the subtree-parallel speedup on multi-core
+// runners).
+func BenchmarkExactParallelSolve(b *testing.B) {
+	view, facts, prior := benchProblem(b, 600, 3)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := AcquireEvaluator(view, 0, facts, prior)
+				g := Greedy(e, Options{MaxFacts: 3})
+				sum := ExactParallel(e, Options{MaxFacts: 3, LowerBound: g.Utility, Workers: workers})
+				ReleaseEvaluator(e)
+				if sum.Utility < g.Utility-1e-9 {
+					b.Fatal("exact below greedy seed")
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,236 @@
+package summarize
+
+import (
+	"math/rand"
+	"testing"
+
+	"cicero/internal/fact"
+	"cicero/internal/relation"
+)
+
+// parityWorkerCounts are the worker counts the parallel oracle sweeps:
+// degenerate (must equal the sequential kernel counter-for-counter),
+// minimal contention, and oversubscribed relative to the test machine.
+var parityWorkerCounts = []int{1, 2, 8}
+
+// requireSameSpeech asserts the parallel summary is bit-identical to the
+// sequential one in everything the solver contract pins: selected facts,
+// utility, and the error decomposition.
+func requireSameSpeech(t *testing.T, name string, seq, par Summary) {
+	t.Helper()
+	if par.Utility != seq.Utility {
+		t.Errorf("%s: Utility %v != sequential %v", name, par.Utility, seq.Utility)
+	}
+	if par.PriorError != seq.PriorError || par.ResidualError != seq.ResidualError {
+		t.Errorf("%s: error decomposition (%v,%v) != sequential (%v,%v)",
+			name, par.PriorError, par.ResidualError, seq.PriorError, seq.ResidualError)
+	}
+	if len(par.FactIdx) != len(seq.FactIdx) {
+		t.Errorf("%s: FactIdx %v != sequential %v", name, par.FactIdx, seq.FactIdx)
+		return
+	}
+	for i := range seq.FactIdx {
+		if par.FactIdx[i] != seq.FactIdx[i] {
+			t.Errorf("%s: FactIdx %v != sequential %v", name, par.FactIdx, seq.FactIdx)
+			return
+		}
+	}
+}
+
+// exactParallelOracle runs the sequential and parallel exact kernels on
+// identical fresh evaluators and checks the parity contract: output
+// bit-identical at every worker count, and with one worker the full
+// pruning-relevant statistics identical too (same enumeration, same
+// bound timeline, same dominance skips).
+func exactParallelOracle(t *testing.T, name string, build func() *Evaluator, opts Options) {
+	t.Helper()
+	seq := ExactCtx(t.Context(), build(), opts)
+	for _, workers := range parityWorkerCounts {
+		o := opts
+		o.Workers = workers
+		par := ExactParallelCtx(t.Context(), build(), o)
+		tag := name
+		requireSameSpeech(t, tag, seq, par)
+		if par.Stats.Workers != workers {
+			t.Errorf("%s: Stats.Workers = %d, want %d", tag, par.Stats.Workers, workers)
+		}
+		if par.Stats.FactsEvaluated != seq.Stats.FactsEvaluated {
+			t.Errorf("%s: FactsEvaluated %d != sequential %d", tag, par.Stats.FactsEvaluated, seq.Stats.FactsEvaluated)
+		}
+		if workers == 1 {
+			if par.Stats.NodesExpanded != seq.Stats.NodesExpanded ||
+				par.Stats.SpeechesEvaluated != seq.Stats.SpeechesEvaluated ||
+				par.Stats.DominatedSkipped != seq.Stats.DominatedSkipped ||
+				par.Stats.JoinedRows != seq.Stats.JoinedRows {
+				t.Errorf("%s: 1-worker counters diverge from sequential:\n  par %+v\n  seq %+v",
+					tag, par.Stats, seq.Stats)
+			}
+		}
+	}
+}
+
+// TestExactParallelParityCorpus sweeps the golden parity corpus: for
+// every scenario, cold (LowerBound 0) and warm (greedy-seeded) runs must
+// be bit-identical to ExactCtx at 1, 2 and 8 workers.
+func TestExactParallelParityCorpus(t *testing.T) {
+	for _, sc := range parityScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			seedU := Greedy(parityEval(sc), Options{MaxFacts: sc.MaxFacts}).Utility
+			exactParallelOracle(t, sc.Name+"/cold",
+				func() *Evaluator { return parityEval(sc) },
+				Options{MaxFacts: sc.MaxFacts})
+			exactParallelOracle(t, sc.Name+"/warm",
+				func() *Evaluator { return parityEval(sc) },
+				Options{MaxFacts: sc.MaxFacts, LowerBound: seedU})
+		})
+	}
+}
+
+// TestExactParallelParityRandom widens the oracle beyond the pinned
+// corpus: randomized relations across sizes, dimensionalities and speech
+// lengths, cold and greedy-warm.
+func TestExactParallelParityRandom(t *testing.T) {
+	shapes := []struct {
+		rows, maxDims, maxFacts int
+	}{
+		{30, 1, 2},
+		{75, 2, 3},
+		{140, 2, 4},
+		{110, 3, 3},
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		for _, sh := range shapes {
+			build := func() *Evaluator {
+				rng := rand.New(rand.NewSource(seed * 1000))
+				rel := randomRelation(rng, sh.rows)
+				view := rel.FullView()
+				facts := fact.Generate(view, 0, fact.GenerateOptions{MaxDims: sh.maxDims})
+				return NewEvaluator(view, 0, facts, fact.MeanPrior(view, 0))
+			}
+			name := "seed"
+			seedU := Greedy(build(), Options{MaxFacts: sh.maxFacts}).Utility
+			exactParallelOracle(t, name+"/cold", build, Options{MaxFacts: sh.maxFacts})
+			exactParallelOracle(t, name+"/warm", build, Options{MaxFacts: sh.maxFacts, LowerBound: seedU})
+		}
+	}
+}
+
+// TestExactParallelDeterministicOutput pins run-to-run determinism at a
+// contended worker count: discovery order varies with scheduling, but
+// the merged speech may not.
+func TestExactParallelDeterministicOutput(t *testing.T) {
+	e0 := bigEval(t, 250, 3)
+	ref := ExactParallelCtx(t.Context(), bigEval(t, 250, 3), Options{MaxFacts: 3, Workers: 8})
+	_ = e0
+	for run := 0; run < 10; run++ {
+		got := ExactParallelCtx(t.Context(), bigEval(t, 250, 3), Options{MaxFacts: 3, Workers: 8})
+		requireSameSpeech(t, "rerun", ref, got)
+	}
+}
+
+// TestExactParallelStatsAggregation checks the exact-aggregation
+// contract for the concurrent counters: the merged JoinedRows must equal
+// the evaluator's own join accounting for the run (per-worker locals
+// summed at join — a racy shared increment would drop updates and
+// break this equality), and the work counters must be coherent.
+func TestExactParallelStatsAggregation(t *testing.T) {
+	for _, workers := range []int{2, 8} {
+		e := bigEval(t, 200, 3)
+		joined0 := e.JoinedRows
+		got := ExactParallelCtx(t.Context(), e, Options{MaxFacts: 3, Workers: workers})
+		if got.Stats.JoinedRows != e.JoinedRows-joined0 {
+			t.Errorf("workers=%d: Stats.JoinedRows %d != evaluator delta %d",
+				workers, got.Stats.JoinedRows, e.JoinedRows-joined0)
+		}
+		if got.Stats.NodesExpanded <= 0 || got.Stats.SpeechesEvaluated <= 0 {
+			t.Errorf("workers=%d: implausible counters %+v", workers, got.Stats)
+		}
+		if got.Stats.NodesExpanded < got.Stats.SpeechesEvaluated {
+			// Every evaluated speech is a chain of expanded nodes, so the
+			// node count bounds the speech count from above.
+			t.Errorf("workers=%d: NodesExpanded %d < SpeechesEvaluated %d",
+				workers, got.Stats.NodesExpanded, got.Stats.SpeechesEvaluated)
+		}
+	}
+}
+
+// dupFactEval builds an evaluator over a relation whose second
+// dimension mirrors the first: every single-dimension fact then has a
+// twin with an identical posting list and value under a different scope
+// (a=x vs b=x' vs a=x∧b=x'), the exact shape dominance pruning exists
+// to skip. (Literal duplicate facts cannot survive the evaluator's
+// slot resolution — the last clone absorbs the rows — so correlated
+// scopes are the real-world source of dominated facts.)
+func dupFactEval(t testing.TB) *Evaluator {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	b := relation.NewBuilder("corr", relation.Schema{
+		Dimensions: []string{"a", "b"},
+		Targets:    []string{"v"},
+	})
+	av := []string{"a0", "a1", "a2", "a3"}
+	mv := []string{"m0", "m1", "m2", "m3"}
+	for i := 0; i < 120; i++ {
+		k := rng.Intn(len(av))
+		b.MustAddRow([]string{av[k], mv[k]}, []float64{rng.NormFloat64()*10 + float64(k)*8})
+	}
+	rel := b.Freeze()
+	view := rel.FullView()
+	facts := fact.Generate(view, 0, fact.GenerateOptions{MaxDims: 2})
+	return NewEvaluator(view, 0, facts, fact.MeanPrior(view, 0))
+}
+
+// TestExactParallelDominancePruning feeds both kernels a correlated
+// relation full of equal-signature facts: the dominance skip must fire
+// (so the duplicated search space is never re-explored) and
+// sequential/parallel must still agree bit-for-bit.
+func TestExactParallelDominancePruning(t *testing.T) {
+	seq := ExactCtx(t.Context(), dupFactEval(t), Options{MaxFacts: 3})
+	if seq.Stats.DominatedSkipped == 0 {
+		t.Error("duplicate facts present but DominatedSkipped == 0 in sequential run")
+	}
+	exactParallelOracle(t, "dup-facts",
+		func() *Evaluator { return dupFactEval(t) },
+		Options{MaxFacts: 3})
+}
+
+// TestExactParallelEmptyProblem covers the m==0 degenerate path: an
+// evaluator with no candidate facts must return the empty speech with
+// the same single empty-speech evaluation the sequential kernel counts.
+func TestExactParallelEmptyProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rel := randomRelation(rng, 20)
+	view := rel.FullView()
+	e := NewEvaluator(view, 0, nil, fact.MeanPrior(view, 0))
+	seq := ExactCtx(t.Context(), e, Options{MaxFacts: 3})
+	par := ExactParallelCtx(t.Context(), e, Options{MaxFacts: 3, Workers: 4})
+	requireSameSpeech(t, "empty", seq, par)
+	if par.Stats.SpeechesEvaluated != seq.Stats.SpeechesEvaluated {
+		t.Errorf("empty problem: SpeechesEvaluated %d != sequential %d",
+			par.Stats.SpeechesEvaluated, seq.Stats.SpeechesEvaluated)
+	}
+	if len(par.FactIdx) != 0 {
+		t.Errorf("empty problem returned facts %v", par.FactIdx)
+	}
+}
+
+// TestExactParallelWarmStartPrunesMore pins the warm-start payoff on the
+// sequential node counts (deterministic): a greedy-seeded incumbent must
+// expand strictly fewer nodes than a cold start whenever the search is
+// non-trivial. The same holds for the parallel kernel statistically, but
+// only the sequential counters are scheduling-independent.
+func TestExactParallelWarmStartPrunesMore(t *testing.T) {
+	e := bigEval(t, 220, 3)
+	seedU := Greedy(e, Options{MaxFacts: 3}).Utility
+	if seedU <= 0 {
+		t.Skip("greedy found nothing to seed with")
+	}
+	cold := ExactCtx(t.Context(), bigEval(t, 220, 3), Options{MaxFacts: 3})
+	warm := ExactCtx(t.Context(), bigEval(t, 220, 3), Options{MaxFacts: 3, LowerBound: seedU})
+	if warm.Stats.NodesExpanded >= cold.Stats.NodesExpanded {
+		t.Errorf("warm start expanded %d nodes, cold %d — expected strictly fewer",
+			warm.Stats.NodesExpanded, cold.Stats.NodesExpanded)
+	}
+	requireSameSpeech(t, "warm-vs-cold", cold, warm)
+}
