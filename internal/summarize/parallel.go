@@ -143,6 +143,11 @@ func ExactParallelCtx(ctx context.Context, e *Evaluator, opts Options) Summary {
 		case abortCancel:
 			stats.Cancelled = true
 		}
+		// best still aliases the winning worker's pooled w.best backing
+		// array; copy it out before any worker returns to the pool, or a
+		// concurrent ExactParallelCtx acquiring the same worker would
+		// overwrite it in place.
+		best = append([]int32(nil), best...)
 		for _, w := range ws {
 			releaseExactWorker(w)
 		}
@@ -155,7 +160,7 @@ func ExactParallelCtx(ctx context.Context, e *Evaluator, opts Options) Summary {
 
 	residual := e.PriorError() - bestU
 	out := Summary{
-		FactIdx:       append([]int32(nil), best...),
+		FactIdx:       best,
 		Utility:       bestU,
 		PriorError:    e.PriorError(),
 		ResidualError: residual,
@@ -327,9 +332,10 @@ func acquireExactWorker(e *Evaluator, lowerBound float64) *exactWorker {
 	return w
 }
 
-// releaseExactWorker returns a worker's scratch to the pool. Its best
-// slices were handed to the merged summary, so they are re-sliced, not
-// reused in place, on the next acquire.
+// releaseExactWorker returns a worker's scratch to the pool. The next
+// acquire re-slices w.best/w.bestPos to length zero and appends into
+// the same backing arrays, so the caller must finish copying any result
+// it read out of the worker before releasing it.
 func releaseExactWorker(w *exactWorker) {
 	w.path.undoRow = w.path.undoRow[:0]
 	w.path.undoVal = w.path.undoVal[:0]
@@ -362,16 +368,34 @@ func (w *exactWorker) run(s *parShared) {
 	}
 }
 
-// runTask reconstructs the task's interior prefix on the worker's
-// private path state (pure state rebuild — those expansions were
-// already counted by the splitter) and then expands the task's own
-// root exactly like a sequential sibling: bound-checked against the
-// current incumbent, dominance-checked against the prefix.
+// runTask expands a task's root exactly like a sequential sibling:
+// bound-checked against the current incumbent, dominance-checked
+// against the prefix. Both checks run before the path state is
+// rebuilt — begin() copies the O(rows) prior-deviation array, and
+// under tight warm-start bounds most tasks die right here — so only
+// surviving tasks pay for reconstructing the interior prefix (pure
+// state rebuild; those expansions were already counted by the
+// splitter).
 func (w *exactWorker) runTask(s *parShared, t subtreeTask) {
+	n := len(t.prefix)
+	last := t.prefix[n-1]
+	fi := s.order[last]
+	u := s.utils[fi]
+	remaining := s.m - (n - 1)
+	if t.sumU+float64(remaining)*u < w.bound(s)-pruneEps {
+		// The whole subtree is bound-pruned (the deque equivalent of the
+		// sequential sibling-loop break).
+		return
+	}
+	for _, pos := range t.prefix[:n-1] {
+		if s.dom[s.order[pos]] == s.dom[fi] {
+			w.stats.DominatedSkipped++
+			return
+		}
+	}
 	w.path.begin(s.e)
 	w.chosen = w.chosen[:0]
 	w.posSeq = w.posSeq[:0]
-	n := len(t.prefix)
 	for _, pos := range t.prefix[:n-1] {
 		pfi := s.order[pos]
 		w.chosen = append(w.chosen, pfi)
@@ -379,29 +403,17 @@ func (w *exactWorker) runTask(s *parShared, t subtreeTask) {
 		w.domCnt[s.dom[pfi]]++
 		w.path.push(s.e, pfi)
 	}
-	last := t.prefix[n-1]
-	fi := s.order[last]
-	u := s.utils[fi]
-	remaining := s.m - (n - 1)
-	switch {
-	case t.sumU+float64(remaining)*u < w.bound(s)-pruneEps:
-		// The whole subtree is bound-pruned (the deque equivalent of the
-		// sequential sibling-loop break).
-	case w.domCnt[s.dom[fi]] > 0:
-		w.stats.DominatedSkipped++
-	default:
-		w.stats.NodesExpanded++
-		w.chosen = append(w.chosen, fi)
-		w.posSeq = append(w.posSeq, last)
-		w.domCnt[s.dom[fi]]++
-		savedU, savedPost := w.path.u, w.path.post
-		mark := w.path.push(s.e, fi)
-		w.dfs(s, int(last)+1, t.sumU+u)
-		w.path.pop(mark, savedU, savedPost)
-		w.domCnt[s.dom[fi]]--
-		w.chosen = w.chosen[:len(w.chosen)-1]
-		w.posSeq = w.posSeq[:len(w.posSeq)-1]
-	}
+	w.stats.NodesExpanded++
+	w.chosen = append(w.chosen, fi)
+	w.posSeq = append(w.posSeq, last)
+	w.domCnt[s.dom[fi]]++
+	savedU, savedPost := w.path.u, w.path.post
+	mark := w.path.push(s.e, fi)
+	w.dfs(s, int(last)+1, t.sumU+u)
+	w.path.pop(mark, savedU, savedPost)
+	w.domCnt[s.dom[fi]]--
+	w.chosen = w.chosen[:len(w.chosen)-1]
+	w.posSeq = w.posSeq[:len(w.posSeq)-1]
 	for i := n - 2; i >= 0; i-- {
 		w.domCnt[s.dom[s.order[t.prefix[i]]]]--
 	}

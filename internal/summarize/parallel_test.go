@@ -2,6 +2,7 @@ package summarize
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"cicero/internal/fact"
@@ -213,6 +214,37 @@ func TestExactParallelEmptyProblem(t *testing.T) {
 	if len(par.FactIdx) != 0 {
 		t.Errorf("empty problem returned facts %v", par.FactIdx)
 	}
+}
+
+// TestExactParallelConcurrentCalls runs many ExactParallelCtx solves at
+// once, the pipeline's problem-level × subtree-level shape. The calls
+// recycle workers through the shared exactWorkerPool, so a result that
+// still aliased a pooled worker's best slice after release would be
+// overwritten by a concurrent call's search (use-after-release) — each
+// result must match its problem's sequential reference bit-for-bit.
+func TestExactParallelConcurrentCalls(t *testing.T) {
+	builds := []func() *Evaluator{
+		func() *Evaluator { return bigEval(t, 200, 3) },
+		func() *Evaluator { return dupFactEval(t) },
+	}
+	refs := make([]Summary, len(builds))
+	for i, build := range builds {
+		refs[i] = ExactCtx(t.Context(), build(), Options{MaxFacts: 3})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 5; iter++ {
+				i := (g + iter) % len(builds)
+				got := ExactParallelCtx(t.Context(), builds[i](), Options{MaxFacts: 3, Workers: 2})
+				requireSameSpeech(t, "concurrent", refs[i], got)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // TestExactParallelWarmStartPrunesMore pins the warm-start payoff on the
