@@ -1,0 +1,205 @@
+// Command router is the fault-tolerance tier of the system: it fronts
+// N cmd/serve nodes as one continuously available cluster. Datasets
+// are consistent-hashed across the nodes with a configurable
+// replication factor — every node must be started with the matching
+// -node/-cluster-nodes/-replication flags so it mounts exactly its
+// ring share — and requests are forwarded with per-attempt timeouts,
+// capped exponential backoff with jitter, failover retries across
+// replicas, and a per-node circuit breaker. Replica health is probed
+// actively through the nodes' per-dataset healthz endpoints; when
+// every replica of a dataset is down the router serves the last known
+// good answer with an explicit staleness marker instead of an error,
+// and under overload it sheds with 503 + Retry-After.
+//
+//	router -addr :8090 -nodes n1=http://10.0.0.1:8080,n2=http://10.0.0.2:8080,n3=http://10.0.0.3:8080 \
+//	    -datasets flights,acs -replication 2
+//
+// With -loadgen it drives a running router instead of serving: a
+// zipf-skewed workload is replayed against -target at -rate requests
+// per second, and the cluster report — aggregate p99, per-node
+// balance, stale answers, error budget, failover gap — is written to
+// -out (BENCH_cluster.json).
+//
+//	router -loadgen -target http://127.0.0.1:8090 -data flights -requests 4000 -rate 400
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cicero/internal/cluster"
+	"cicero/internal/dataset"
+	"cicero/internal/load"
+	"cicero/internal/voice"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8090", "listen address")
+		nodes    = flag.String("nodes", "", "comma-separated id=url cluster members, e.g. n1=http://10.0.0.1:8080,n2=http://10.0.0.2:8080")
+		datasets = flag.String("datasets", "flights", "comma-separated datasets to route; the first is the default")
+		replicas = flag.Int("replication", 2, "replicas per dataset (must match the nodes' -replication)")
+		vnodes   = flag.Int("vnodes", 0, "ring virtual nodes per node (0: default; must match the nodes)")
+
+		requestTimeout = flag.Duration("request-timeout", 2*time.Second, "per-attempt forwarding deadline")
+		maxAttempts    = flag.Int("max-attempts", 0, "total tries per request across replicas (0: 2x replication)")
+		healthEvery    = flag.Duration("health-interval", time.Second, "active health-check sweep period")
+		maxInFlight    = flag.Int("max-inflight", 512, "bound on concurrently forwarded requests")
+		queueTimeout   = flag.Duration("queue-timeout", 100*time.Millisecond, "admission queue timeout before shedding")
+		staleEntries   = flag.Int("stale", 4096, "stale-answer cache entries (negative disables graceful degradation)")
+		brkFailures    = flag.Int("breaker-failures", 5, "consecutive failures that open a node's circuit breaker")
+		brkCooldown    = flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker cooldown before a half-open probe")
+		seed           = flag.Int64("seed", 1, "backoff jitter seed")
+
+		loadgen  = flag.Bool("loadgen", false, "drive a router with the cluster load harness instead of serving")
+		target   = flag.String("target", "", "loadgen target router base URL")
+		data     = flag.String("data", "flights", "loadgen dataset")
+		requests = flag.Int("requests", 2000, "loadgen request count")
+		rate     = flag.Float64("rate", 0, "loadgen aggregate requests per second (0: as fast as possible)")
+		loadWork = flag.Int("load-workers", 16, "loadgen client workers")
+		distinct = flag.Int("distinct", 64, "loadgen distinct utterances per kind")
+		zipf     = flag.Float64("zipf", 1.3, "loadgen popularity skew (>1)")
+		loadSeed = flag.Int64("load-seed", 42, "loadgen workload seed")
+		out      = flag.String("out", "BENCH_cluster.json", "loadgen result artifact path")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *loadgen {
+		runLoadgen(ctx, *target, *data, load.Options{
+			Requests: *requests, Distinct: *distinct, Zipf: *zipf, Seed: *loadSeed,
+		}, load.ClusterOptions{Workers: *loadWork, RatePerSec: *rate}, *out)
+		return
+	}
+
+	members, err := parseNodes(*nodes)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	names := splitList(*datasets)
+	if len(names) == 0 {
+		fatalf("no datasets given")
+	}
+	r, err := cluster.New(members, names, cluster.Options{
+		Replication:    *replicas,
+		VirtualNodes:   *vnodes,
+		RequestTimeout: *requestTimeout,
+		MaxAttempts:    *maxAttempts,
+		HealthInterval: *healthEvery,
+		MaxInFlight:    *maxInFlight,
+		QueueTimeout:   *queueTimeout,
+		StaleEntries:   *staleEntries,
+		Breaker:        cluster.BreakerPolicy{FailureThreshold: *brkFailures, Cooldown: *brkCooldown},
+		Seed:           *seed,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	for node, dss := range cluster.Assignments(r.Ring(), names) {
+		fmt.Fprintf(os.Stderr, "ring: %s hosts %s\n", node, strings.Join(dss, ","))
+	}
+	r.CheckHealth(ctx)
+	for _, n := range r.HealthSnapshot().Nodes {
+		state := "healthy"
+		if !n.Healthy {
+			state = "UNREACHABLE"
+		}
+		fmt.Fprintf(os.Stderr, "node %s (%s): %s\n", n.ID, n.URL, state)
+	}
+	go r.Run(ctx)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           r.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "routing %s across %d nodes on %s (replication %d)\n",
+		strings.Join(names, ","), len(members), *addr, r.Ring().ReplicationFactor())
+
+	select {
+	case err := <-errc:
+		fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "shutting down ...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+	}
+}
+
+// parseNodes resolves the -nodes flag's id=url pairs.
+func parseNodes(s string) ([]cluster.Node, error) {
+	var out []cluster.Node
+	for _, part := range splitList(s) {
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -nodes entry %q (want id=url)", part)
+		}
+		out = append(out, cluster.Node{ID: id, URL: url})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no cluster members given (-nodes id=url,...)")
+	}
+	return out, nil
+}
+
+// splitList splits a comma-separated flag, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// runLoadgen replays a paced zipf workload against a running router
+// and writes the BENCH_cluster.json artifact.
+func runLoadgen(ctx context.Context, target, name string, opts load.Options, copts load.ClusterOptions, out string) {
+	if target == "" {
+		fatalf("-loadgen needs -target (the router's base URL)")
+	}
+	rel := dataset.ByName(name, 1)
+	if rel == nil {
+		fatalf("unknown data set %q", name)
+	}
+	opts.TargetPhrases = voice.SpokenTargetPhrases(voice.DefaultSamples(name))
+	texts := load.Generate(rel, opts)
+	fmt.Fprintf(os.Stderr, "generated %d requests (%d distinct, zipf %.2f, %.0f req/s)\n",
+		len(texts), opts.Distinct, opts.Zipf, copts.RatePerSec)
+
+	res := load.RunCluster(ctx, nil, target, name, texts, copts)
+	res.Zipf, res.Distinct = opts.Zipf, opts.Distinct
+	fmt.Print(res.ClusterSummary())
+	if out != "" {
+		if err := res.WriteFile(out); err != nil {
+			fatalf("write %s: %v", out, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	}
+	if res.Errors == res.Requests {
+		fatalf("every request failed against %s", target)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "router: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -49,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"cicero/internal/cluster"
 	"cicero/internal/dataset"
 	"cicero/internal/engine"
 	"cicero/internal/httpserve"
@@ -73,6 +74,15 @@ func main() {
 		snapDir  = flag.String("snapshot-dir", "", "cold-start datasets from <dir>/<name>.snap and keep the snapshots fresh")
 		useMmap  = flag.Bool("mmap", true, "serve snapshots zero-copy from the mapped file (false: decode into the heap)")
 
+		node      = flag.String("node", "", "this node's ID on the cluster hash ring (cluster mode)")
+		clusterIs = flag.String("cluster-nodes", "", "comma-separated node IDs of the whole cluster; with -node, mount only this node's ring share")
+		replicas  = flag.Int("replication", 2, "cluster replication factor (with -cluster-nodes)")
+		vnodes    = flag.Int("vnodes", 0, "ring virtual nodes per node (0: default; must match the router)")
+
+		readTimeout    = flag.Duration("read-timeout", 30*time.Second, "full-request read deadline on the listener")
+		idleTimeout    = flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection deadline")
+		requestTimeout = flag.Duration("request-timeout", 0, "per-request handler deadline (0 disables)")
+
 		cacheEntries = flag.Int("cache", 4096, "answer cache entries (negative disables)")
 		maxInFlight  = flag.Int("max-inflight", 256, "bound on concurrent kernel executions")
 		queueTimeout = flag.Duration("queue-timeout", 100*time.Millisecond, "admission queue timeout")
@@ -94,6 +104,28 @@ func main() {
 	defer stop()
 
 	names := datasetNames(*datasets, *data)
+	// Cluster mode: every node is started with the same -cluster-nodes /
+	// -replication / -vnodes flags, so each builds the same ring as the
+	// router and mounts exactly its share of the datasets — no
+	// coordination service involved.
+	if *clusterIs != "" {
+		ids := splitList(*clusterIs)
+		if *node == "" {
+			fatalf("-cluster-nodes needs -node (this node's ring ID)")
+		}
+		ring, err := cluster.NewRing(ids, *replicas, *vnodes)
+		if err != nil {
+			fatalf("cluster ring: %v", err)
+		}
+		owned := cluster.NodeDatasets(ring, *node, names)
+		if len(owned) == 0 {
+			fatalf("node %q owns none of %s on the ring (is -node in -cluster-nodes?)",
+				*node, strings.Join(names, ","))
+		}
+		fmt.Fprintf(os.Stderr, "cluster node %s: ring assigns %s (of %s)\n",
+			*node, strings.Join(owned, ","), strings.Join(names, ","))
+		names = owned
+	}
 	rels := make(map[string]*relation.Relation, len(names))
 	for _, name := range names {
 		rel := dataset.ByName(name, *seed)
@@ -164,7 +196,8 @@ func main() {
 		runLoadgen(ctx, srv, rels[defName], defName, loadOpts, "", *loadWork, *out)
 		return
 	}
-	runDaemon(ctx, srv, *addr, *rebuild, names, rels, *snapDir, fingerprint, builder)
+	runDaemon(ctx, srv, *addr, *rebuild, names, rels, *snapDir, fingerprint, builder,
+		serverTimeouts{read: *readTimeout, idle: *idleTimeout, request: *requestTimeout})
 }
 
 // datasetNames resolves the -datasets / -data flags into a non-empty,
@@ -188,6 +221,18 @@ func datasetNames(multi, single string) []string {
 		fatalf("no data sets given")
 	}
 	return names
+}
+
+// splitList splits a comma-separated flag verbatim (node IDs are
+// case-sensitive ring keys, unlike dataset names).
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // snapPath names a dataset's snapshot artifact inside dir.
@@ -276,6 +321,15 @@ func snapView(path string, rel *relation.Relation, useMmap bool, fingerprint str
 	return snapshot.ReadFile(path, rel)
 }
 
+// serverTimeouts carries the listener and handler deadlines into
+// runDaemon: a slowloris client or a wedged handler must not pin a
+// connection (or a worker) forever.
+type serverTimeouts struct {
+	read    time.Duration // full request read
+	idle    time.Duration // keep-alive idle connections
+	request time.Duration // per-request handler deadline (0 disables)
+}
+
 // runDaemon serves until the context is cancelled (SIGINT/SIGTERM),
 // then shuts down gracefully; the optional rebuild loop re-processes
 // every dataset on its interval, hot-swaps each with zero downtime,
@@ -283,11 +337,18 @@ func snapView(path string, rel *relation.Relation, useMmap bool, fingerprint str
 func runDaemon(ctx context.Context, srv *httpserve.Server, addr string, rebuild time.Duration,
 	names []string, rels map[string]*relation.Relation, snapDir string,
 	fingerprint func(string) string,
-	builder func(string) func(context.Context) (*engine.Store, error)) {
+	builder func(string) func(context.Context) (*engine.Store, error),
+	timeouts serverTimeouts) {
+	handler := srv.Handler()
+	if timeouts.request > 0 {
+		handler = httpserve.WithRequestTimeout(handler, timeouts.request)
+	}
 	httpSrv := &http.Server{
 		Addr:              addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       timeouts.read,
+		IdleTimeout:       timeouts.idle,
 	}
 
 	if rebuild > 0 {

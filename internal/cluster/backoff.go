@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BackoffPolicy shapes the delay between failover retries: capped
+// exponential growth with multiplicative jitter. The zero value gets
+// production defaults via withDefaults.
+type BackoffPolicy struct {
+	// Base is the pre-jitter delay of the first retry (default 25ms).
+	Base time.Duration
+	// Max caps the pre-jitter delay (default 1s).
+	Max time.Duration
+	// Multiplier is the per-attempt growth factor (default 2).
+	Multiplier float64
+	// Jitter is the fraction of the delay randomized around its nominal
+	// value, in [0, 1): delay*(1-Jitter) .. delay*(1+Jitter)
+	// (default 0.2). Jitter decorrelates the retry storms of many
+	// clients hitting the same dead node.
+	Jitter float64
+}
+
+func (p BackoffPolicy) withDefaults() BackoffPolicy {
+	if p.Base <= 0 {
+		p.Base = 25 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// Delay returns the sleep before retry attempt (attempt 0 = the first
+// retry, i.e. the delay between the first and second tries). rng makes
+// the jitter deterministic under a seeded source; a nil rng disables
+// jitter. The result is always within
+// [Base*(1-Jitter), Max*(1+Jitter)].
+func (p BackoffPolicy) Delay(attempt int, rng *rand.Rand) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.Base)
+	for i := 0; i < attempt && d < float64(p.Max); i++ {
+		d *= p.Multiplier
+	}
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if rng != nil && p.Jitter > 0 {
+		// Uniform in [1-Jitter, 1+Jitter).
+		d *= 1 - p.Jitter + 2*p.Jitter*rng.Float64()
+	}
+	return time.Duration(d)
+}

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"cicero/internal/engine"
+	"cicero/internal/relation"
+	"cicero/internal/serve"
+	"cicero/internal/snapshot"
+	"cicero/internal/voice"
+)
+
+// This file is the replica-bootstrap seam: it connects the ring's
+// placement plan to the snapshot artifacts of internal/snapshot and
+// the lazy loading of serve.Registry, so a node joins the cluster by
+// mmapping its assigned datasets' snapshots in microseconds instead of
+// re-running pre-processing.
+
+// SnapshotLoader returns a serve.Registry loader that bootstraps one
+// replica from its snapshot artifact: zero-copy mmap when useMmap is
+// set, heap decode otherwise. A non-empty fingerprint must match the
+// artifact's build fingerprint — a replica must not serve answers
+// built under different parameters than its peers. The loader is the
+// lazy half of cluster bootstrap; pair it with Assignments to decide
+// which datasets a node registers at all.
+func SnapshotLoader(path string, rel *relation.Relation, ex *voice.Extractor, useMmap bool, fingerprint string) serve.Loader {
+	return func(ctx context.Context) (*serve.Answerer, error) {
+		meta, err := snapshot.InfoFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if fingerprint != "" && meta.Fingerprint != fingerprint {
+			return nil, fmt.Errorf("cluster: snapshot %s built with different parameters (%q, replica wants %q)",
+				path, meta.Fingerprint, fingerprint)
+		}
+		var view engine.StoreView
+		if useMmap {
+			view, err = snapshot.MapFile(path, rel)
+		} else {
+			view, err = snapshot.ReadFile(path, rel)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return serve.New(rel, view, ex, serve.Options{}), nil
+	}
+}
+
+// NodeDatasets filters datasets down to the ones the ring assigns to
+// node — the mount list a cluster-mode cmd/serve uses instead of
+// mounting everything. Order follows the input list.
+func NodeDatasets(r *Ring, node string, datasets []string) []string {
+	var out []string
+	for _, ds := range datasets {
+		if r.Owns(node, ds) {
+			out = append(out, ds)
+		}
+	}
+	return out
+}

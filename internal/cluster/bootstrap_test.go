@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cicero/internal/dataset"
+	"cicero/internal/engine"
+	"cicero/internal/relation"
+	"cicero/internal/serve"
+	"cicero/internal/snapshot"
+	"cicero/internal/voice"
+)
+
+// buildFlightsSnapshot preprocesses a small flights store and writes
+// its tagged snapshot artifact, returning everything a replica needs
+// to bootstrap from it.
+func buildFlightsSnapshot(t testing.TB, fingerprint string) (string, *relation.Relation, *voice.Extractor) {
+	t.Helper()
+	rel := dataset.Flights(800, 1)
+	cfg := engine.DefaultConfig(rel)
+	cfg.Targets = []string{"cancelled"}
+	cfg.Dimensions = []string{"season", "airline"}
+	cfg.MaxQueryLen = 1
+	sum := &engine.Summarizer{
+		Rel: rel, Config: cfg, Alg: engine.AlgGreedyOpt,
+		Template: engine.Template{TargetPhrase: "cancellation probability", Percent: true},
+	}
+	store, _, err := sum.Preprocess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "flights.snap")
+	if err := snapshot.WriteFileTagged(path, store, rel, fingerprint); err != nil {
+		t.Fatal(err)
+	}
+	ex := voice.NewExtractor(rel, voice.DefaultSamples("flights"), cfg.MaxQueryLen)
+	return path, rel, ex
+}
+
+func TestSnapshotLoaderBootstrapsReplica(t *testing.T) {
+	for _, useMmap := range []bool{false, true} {
+		path, rel, ex := buildFlightsSnapshot(t, "fp-1")
+		reg := serve.NewRegistry()
+		if err := reg.Register("flights", SnapshotLoader(path, rel, ex, useMmap, "fp-1")); err != nil {
+			t.Fatal(err)
+		}
+		a, err := reg.Get(context.Background(), "flights")
+		if err != nil {
+			t.Fatalf("mmap=%v: %v", useMmap, err)
+		}
+		ans := a.Answer("what is the cancellation probability for winter")
+		if ans.Text == "" {
+			t.Fatalf("mmap=%v: empty answer from bootstrapped replica", useMmap)
+		}
+	}
+}
+
+func TestSnapshotLoaderRejectsFingerprintMismatch(t *testing.T) {
+	path, rel, ex := buildFlightsSnapshot(t, "fp-old")
+	reg := serve.NewRegistry()
+	if err := reg.Register("flights", SnapshotLoader(path, rel, ex, false, "fp-new")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get(context.Background(), "flights"); err == nil {
+		t.Fatal("fingerprint mismatch accepted")
+	} else if !strings.Contains(err.Error(), "different parameters") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// An empty expected fingerprint skips the gate.
+	reg2 := serve.NewRegistry()
+	if err := reg2.Register("flights", SnapshotLoader(path, rel, ex, false, "")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg2.Get(context.Background(), "flights"); err != nil {
+		t.Fatalf("ungated load failed: %v", err)
+	}
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes requests through (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects requests without trying the node.
+	BreakerOpen
+	// BreakerHalfOpen lets a bounded number of probe requests through
+	// to test whether the node recovered.
+	BreakerHalfOpen
+)
+
+// String names the state for logs and the /v1/healthz payload.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "invalid"
+	}
+}
+
+// BreakerPolicy tunes a per-node circuit breaker. The zero value gets
+// production defaults via withDefaults.
+type BreakerPolicy struct {
+	// FailureThreshold is the number of consecutive failures that opens
+	// the breaker (default 5).
+	FailureThreshold int
+	// Cooldown is how long an open breaker rejects before letting
+	// half-open probes through (default 2s).
+	Cooldown time.Duration
+	// HalfOpenProbes bounds the concurrent probe requests in the
+	// half-open state (default 1).
+	HalfOpenProbes int
+}
+
+func (p BreakerPolicy) withDefaults() BreakerPolicy {
+	if p.FailureThreshold <= 0 {
+		p.FailureThreshold = 5
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = 2 * time.Second
+	}
+	if p.HalfOpenProbes <= 0 {
+		p.HalfOpenProbes = 1
+	}
+	return p
+}
+
+// Breaker is one node's circuit breaker: closed until
+// FailureThreshold consecutive failures, then open (requests rejected
+// without touching the node) for Cooldown, then half-open — a bounded
+// number of probes go through, and the first probe outcome decides:
+// success closes the breaker, failure re-opens it for another
+// cooldown. Safe for concurrent use; time comes from the injected
+// Clock so tests drive transitions without sleeping.
+type Breaker struct {
+	policy BreakerPolicy
+	clock  Clock
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecFails int
+	openedAt    time.Time
+	probes      int // in-flight half-open probes
+}
+
+// NewBreaker builds a closed breaker under the policy.
+func NewBreaker(policy BreakerPolicy, clock Clock) *Breaker {
+	if clock == nil {
+		clock = RealClock{}
+	}
+	return &Breaker{policy: policy.withDefaults(), clock: clock}
+}
+
+// Allow reports whether a request may be sent to the node now; an open
+// breaker whose cooldown has elapsed transitions to half-open and
+// admits up to HalfOpenProbes callers. Every admitted caller must
+// report the outcome via Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.clock.Now().Sub(b.openedAt) < b.policy.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probes = 1
+		return true
+	default: // half-open
+		if b.probes >= b.policy.HalfOpenProbes {
+			return false
+		}
+		b.probes++
+		return true
+	}
+}
+
+// Success records a successful request, closing a half-open breaker
+// and resetting the consecutive-failure count.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probes--
+	}
+	b.state = BreakerClosed
+	b.consecFails = 0
+}
+
+// Failure records a failed request: the threshold'th consecutive
+// failure opens a closed breaker, and any half-open probe failure
+// re-opens immediately for a fresh cooldown.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probes = 0
+		b.state = BreakerOpen
+		b.openedAt = b.clock.Now()
+		b.consecFails = b.policy.FailureThreshold
+	case BreakerClosed:
+		b.consecFails++
+		if b.consecFails >= b.policy.FailureThreshold {
+			b.state = BreakerOpen
+			b.openedAt = b.clock.Now()
+		}
+	default: // already open: late failures don't extend the cooldown
+	}
+}
+
+// State returns the breaker's current position, applying the
+// open → half-open transition if the cooldown has elapsed (so a
+// metrics read and Allow agree).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.clock.Now().Sub(b.openedAt) >= b.policy.Cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func ringNodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%d", i)
+	}
+	return out
+}
+
+func TestNewRingValidates(t *testing.T) {
+	if _, err := NewRing(nil, 2, 0); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 2, 0); err == nil {
+		t.Fatal("duplicate node IDs accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 2, 0); err == nil {
+		t.Fatal("empty node ID accepted")
+	}
+}
+
+func TestRingReplicasDistinctAndClamped(t *testing.T) {
+	r, err := NewRing(ringNodes(3), 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range []string{"flights", "acs", "taxi", "liquor"} {
+		reps := r.Replicas(ds)
+		if len(reps) != 3 {
+			t.Fatalf("dataset %s: %d replicas, want RF clamped to 3 nodes", ds, len(reps))
+		}
+		seen := map[string]bool{}
+		for _, n := range reps {
+			if seen[n] {
+				t.Fatalf("dataset %s: duplicate replica %s", ds, n)
+			}
+			seen[n] = true
+		}
+	}
+	// RF <= 0 defaults to 2.
+	r2, err := NewRing(ringNodes(4), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r2.Replicas("flights")); got != 2 {
+		t.Fatalf("default RF gave %d replicas, want 2", got)
+	}
+}
+
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	// The router and every cmd/serve node build their own ring from the
+	// same flag values; placement must agree with no coordination.
+	a, err := NewRing(ringNodes(5), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(ringNodes(5), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("dataset-%d", i)
+		if ra, rb := a.Replicas(key), b.Replicas(key); !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("key %s: %v vs %v", key, ra, rb)
+		}
+	}
+}
+
+func TestRingNodeOrderIndependent(t *testing.T) {
+	a, _ := NewRing([]string{"a", "b", "c"}, 2, 0)
+	b, _ := NewRing([]string{"c", "a", "b"}, 2, 0)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("dataset-%d", i)
+		if ra, rb := a.Replicas(key), b.Replicas(key); !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("key %s: placement depends on input order: %v vs %v", key, ra, rb)
+		}
+	}
+}
+
+func TestRingOwnsMatchesReplicas(t *testing.T) {
+	r, _ := NewRing(ringNodes(5), 3, 0)
+	for i := 0; i < 30; i++ {
+		key := fmt.Sprintf("dataset-%d", i)
+		reps := map[string]bool{}
+		for _, n := range r.Replicas(key) {
+			reps[n] = true
+		}
+		for _, n := range ringNodes(5) {
+			if r.Owns(n, key) != reps[n] {
+				t.Fatalf("Owns(%s, %s) = %v disagrees with Replicas", n, key, !reps[n])
+			}
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	// With virtual nodes, 200 keys across 5 nodes should not all pile
+	// onto one node. Loose bound: every node owns at least one key.
+	r, _ := NewRing(ringNodes(5), 1, 0)
+	counts := map[string]int{}
+	for i := 0; i < 200; i++ {
+		counts[r.Replicas(fmt.Sprintf("dataset-%d", i))[0]]++
+	}
+	for _, n := range ringNodes(5) {
+		if counts[n] == 0 {
+			t.Fatalf("node %s owns no keys out of 200: %v", n, counts)
+		}
+	}
+}
+
+func TestAssignmentsCoverAllDatasetsRFTimes(t *testing.T) {
+	nodes := ringNodes(4)
+	datasets := []string{"flights", "acs", "taxi", "liquor", "weather"}
+	r, _ := NewRing(nodes, 2, 0)
+	asg := Assignments(r, datasets)
+	total := 0
+	for n, dss := range asg {
+		total += len(dss)
+		for _, ds := range dss {
+			if !r.Owns(n, ds) {
+				t.Fatalf("assignment gave %s to %s but Owns disagrees", ds, n)
+			}
+		}
+	}
+	if total != len(datasets)*2 {
+		t.Fatalf("total placements %d, want %d (each dataset on RF=2 nodes)", total, len(datasets)*2)
+	}
+}
+
+func TestNodeDatasetsFiltersByOwnership(t *testing.T) {
+	nodes := ringNodes(3)
+	datasets := []string{"flights", "acs", "taxi", "liquor"}
+	r, _ := NewRing(nodes, 2, 0)
+	covered := map[string]int{}
+	for _, n := range nodes {
+		for _, ds := range NodeDatasets(r, n, datasets) {
+			if !r.Owns(n, ds) {
+				t.Fatalf("NodeDatasets gave %s to %s without ownership", ds, n)
+			}
+			covered[ds]++
+		}
+	}
+	for _, ds := range datasets {
+		if covered[ds] != 2 {
+			t.Fatalf("dataset %s mounted on %d nodes, want 2", ds, covered[ds])
+		}
+	}
+}

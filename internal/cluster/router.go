@@ -1,0 +1,735 @@
+// Package cluster is the fault-tolerance tier over the HTTP serving
+// layer: it turns N independent cmd/serve daemons into one
+// continuously available cluster. A Router consistent-hashes datasets
+// (Ring) across the nodes with a configurable replication factor,
+// actively health-checks every replica through the nodes' existing
+// per-dataset /v1/{dataset}/healthz endpoints (HealthChecker), and
+// forwards answer traffic with per-attempt timeouts, capped
+// exponential backoff with jitter (BackoffPolicy), failover retries to
+// the next replica on connection error / timeout / 5xx / corrupt
+// response, and a per-node circuit breaker (Breaker). When every
+// replica of a dataset is down the router degrades gracefully: it
+// serves the last known good answer from a generation-tagged stale
+// cache with an explicit staleness marker instead of failing, and it
+// load-sheds with 503 + Retry-After under overload. The FaultInjector
+// transport hook reproduces each of those failure modes
+// deterministically in tests.
+//
+// Replicas bootstrap from the snapshot artifacts of internal/snapshot:
+// Assignments tells a cluster-mode cmd/serve which datasets its node
+// must mount, and SnapshotLoader turns a snapshot path into the lazy
+// serve.Registry loader that cold-starts the replica in microseconds.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cicero/internal/httpserve"
+	"cicero/internal/stats"
+)
+
+// Node is one cmd/serve backend of the cluster.
+type Node struct {
+	// ID is the node's stable identity on the hash ring; it must match
+	// the -node flag the backend was started with when ring-scoped
+	// mounting is used.
+	ID string `json:"id"`
+	// URL is the node's base URL (e.g. http://10.0.0.3:8080).
+	URL string `json:"url"`
+}
+
+// Options tunes the router tier. The zero value gives production
+// defaults.
+type Options struct {
+	// Replication is the number of nodes hosting each dataset
+	// (default 2, clamped to the node count).
+	Replication int
+	// VirtualNodes is the ring's per-node virtual-node count
+	// (default DefaultVirtualNodes). Router and nodes must agree.
+	VirtualNodes int
+	// RequestTimeout bounds each forwarding attempt (default 2s): a
+	// hung node costs at most this before failover.
+	RequestTimeout time.Duration
+	// MaxAttempts bounds the total tries per request across replicas
+	// (default 2 × replication).
+	MaxAttempts int
+	// Backoff shapes the delay between retries.
+	Backoff BackoffPolicy
+	// Breaker tunes the per-node circuit breakers.
+	Breaker BreakerPolicy
+	// HealthInterval is the active health-check sweep period
+	// (default 1s).
+	HealthInterval time.Duration
+	// ProbeTimeout bounds each health probe (default HealthInterval/2).
+	ProbeTimeout time.Duration
+	// MaxInFlight bounds concurrently forwarded requests (default 512);
+	// beyond it requests queue up to QueueTimeout (default 100ms) and
+	// are then shed with 503 + Retry-After.
+	MaxInFlight  int
+	QueueTimeout time.Duration
+	// MaxBodyBytes bounds the accepted request body (default 1 MiB).
+	MaxBodyBytes int64
+	// StaleEntries bounds the last-good-answer cache (default 4096);
+	// negative disables stale serving.
+	StaleEntries int
+	// LatencyWindow is the forwarding latency sample window.
+	LatencyWindow int
+	// Transport overrides the forwarding transport — the FaultInjector
+	// hook. Nil uses a connection-pooled clone of the default.
+	Transport http.RoundTripper
+	// Clock overrides wall time (tests). Nil uses the real clock.
+	Clock Clock
+	// Seed makes backoff jitter deterministic.
+	Seed int64
+}
+
+func (o Options) withDefaults(nodes int) Options {
+	if o.Replication <= 0 {
+		o.Replication = 2
+	}
+	if o.Replication > nodes {
+		o.Replication = nodes
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 2 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 2 * o.Replication
+	}
+	if o.HealthInterval <= 0 {
+		o.HealthInterval = time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = o.HealthInterval / 2
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 512
+	}
+	if o.QueueTimeout <= 0 {
+		o.QueueTimeout = 100 * time.Millisecond
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.StaleEntries == 0 {
+		o.StaleEntries = 4096
+	}
+	if o.Clock == nil {
+		o.Clock = RealClock{}
+	}
+	return o
+}
+
+// maxReplyBytes bounds a relayed node response; a response this large
+// is treated like a corrupt one (failover, then 503).
+const maxReplyBytes = 64 << 20
+
+// nodeState is one node's runtime state on the router.
+type nodeState struct {
+	node    Node
+	breaker *Breaker
+	success atomic.Uint64
+	failure atomic.Uint64
+}
+
+// Router is the health-checked, failover-retrying HTTP front of a
+// snapshot-replicated cluster. Create with New, start the health loop
+// with Run (or call CheckHealth yourself), and serve Handler.
+type Router struct {
+	nodes    []Node
+	byID     map[string]*nodeState
+	datasets []string
+	hosted   map[string]bool
+	defName  string
+	ring     *Ring
+	health   *HealthChecker
+	stale    *staleCache // nil when disabled
+	opts     Options
+	clock    Clock
+	client   *http.Client
+	sem      chan struct{}
+	mux      *http.ServeMux
+	started  time.Time
+
+	rr          atomic.Uint64 // round-robin cursor over healthy replicas
+	forwards    atomic.Uint64
+	retries     atomic.Uint64
+	failovers   atomic.Uint64
+	staleServed atomic.Uint64
+	shed        atomic.Uint64
+	failed      atomic.Uint64
+	lat         *stats.LatencyRecorder
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// New builds a router over the nodes for the given datasets; the first
+// dataset is the default the legacy /v1/answer route resolves to.
+func New(nodes []Node, datasets []string, opts Options) (*Router, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("cluster: router needs at least one node")
+	}
+	if len(datasets) == 0 {
+		return nil, errors.New("cluster: router needs at least one dataset")
+	}
+	ids := make([]string, len(nodes))
+	for i, n := range nodes {
+		if n.ID == "" || n.URL == "" {
+			return nil, fmt.Errorf("cluster: node %d needs both an ID and a URL", i)
+		}
+		u, err := url.Parse(n.URL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: node %s: invalid URL %q", n.ID, n.URL)
+		}
+		nodes[i].URL = strings.TrimRight(n.URL, "/")
+		ids[i] = n.ID
+	}
+	opts = opts.withDefaults(len(nodes))
+	ring, err := NewRing(ids, opts.Replication, opts.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+
+	transport := opts.Transport
+	if transport == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = opts.MaxInFlight
+		transport = tr
+	}
+	r := &Router{
+		nodes:    append([]Node(nil), nodes...),
+		byID:     make(map[string]*nodeState, len(nodes)),
+		datasets: append([]string(nil), datasets...),
+		hosted:   make(map[string]bool, len(datasets)),
+		defName:  datasets[0],
+		ring:     ring,
+		opts:     opts,
+		clock:    opts.Clock,
+		client:   &http.Client{Transport: transport},
+		sem:      make(chan struct{}, opts.MaxInFlight),
+		started:  time.Now(),
+		lat:      stats.NewLatencyRecorder(opts.LatencyWindow),
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+	}
+	if opts.StaleEntries > 0 {
+		r.stale = newStaleCache(opts.StaleEntries)
+	}
+	for _, n := range r.nodes {
+		r.byID[n.ID] = &nodeState{node: n, breaker: NewBreaker(opts.Breaker, r.clock)}
+	}
+	for _, ds := range r.datasets {
+		r.hosted[ds] = true
+	}
+	r.health = NewHealthChecker(r.probeReplica, ring, datasets, opts.HealthInterval, opts.ProbeTimeout)
+
+	r.mux = http.NewServeMux()
+	r.mux.HandleFunc("/v1/answer", r.handleAnswer)
+	r.mux.HandleFunc("/v1/{dataset}/answer", r.handleAnswer)
+	r.mux.HandleFunc("/v1/healthz", r.handleHealthz)
+	r.mux.HandleFunc("/v1/stats", r.handleStats)
+	r.mux.HandleFunc("/v1/datasets", r.handleDatasets)
+	return r, nil
+}
+
+// Handler returns the router's route multiplexer.
+func (r *Router) Handler() http.Handler { return r.mux }
+
+// Ring exposes the router's placement ring (cmd/router prints it).
+func (r *Router) Ring() *Ring { return r.ring }
+
+// Health exposes the router's health checker.
+func (r *Router) Health() *HealthChecker { return r.health }
+
+// Run sweeps health checks on the configured interval until ctx is
+// done; the first sweep completes before traffic-worthy verdicts are
+// needed. Call it from a goroutine next to the HTTP server.
+func (r *Router) Run(ctx context.Context) { r.health.Run(ctx) }
+
+// CheckHealth runs one synchronous health sweep (boot and tests).
+func (r *Router) CheckHealth(ctx context.Context) { r.health.Check(ctx) }
+
+// probeReplica is the health checker's ProbeFunc: one GET of the
+// node's per-dataset healthz, returning the dataset's swap count.
+func (r *Router) probeReplica(ctx context.Context, node, dataset string) (uint64, error) {
+	ns := r.byID[node]
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		ns.node.URL+"/v1/"+url.PathEscape(dataset)+"/healthz", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	var h httpserve.HealthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		return 0, fmt.Errorf("healthz body: %w", err)
+	}
+	return h.Swaps, nil
+}
+
+// candidates orders a dataset's replicas for forwarding: healthy
+// replicas first — rotated by a round-robin cursor so load spreads
+// across them — then unhealthy ones as a last resort (health can lag
+// a recovery; the breaker still gates the actual attempt).
+func (r *Router) candidates(dataset string) []string {
+	replicas := r.ring.Replicas(dataset)
+	healthy := make([]string, 0, len(replicas))
+	var down []string
+	for _, n := range replicas {
+		if r.health.Healthy(n, dataset) {
+			healthy = append(healthy, n)
+		} else {
+			down = append(down, n)
+		}
+	}
+	if len(healthy) > 1 {
+		rot := int(r.rr.Add(1)) % len(healthy)
+		healthy = append(healthy[rot:], healthy[:rot]...)
+	}
+	return append(healthy, down...)
+}
+
+// backoffDelay draws a jittered delay for the given retry index.
+func (r *Router) backoffDelay(retry int) time.Duration {
+	r.rngMu.Lock()
+	defer r.rngMu.Unlock()
+	return r.opts.Backoff.Delay(retry, r.rng)
+}
+
+// nodeReply is one successfully relayed node response.
+type nodeReply struct {
+	node     string
+	status   int
+	body     []byte
+	attempts int
+}
+
+// errAllBreakersOpen reports a forward that could not attempt any
+// replica because every breaker rejected it.
+var errAllBreakersOpen = errors.New("cluster: every replica's circuit breaker is open")
+
+// forward sends body to the dataset's replicas until one yields a
+// coherent response: per-attempt timeout, backoff between attempts,
+// failover to the next candidate on connection error, timeout, 5xx, or
+// a corrupt (non-JSON) body. Client errors (4xx) are coherent answers
+// and are relayed, not retried.
+func (r *Router) forward(ctx context.Context, dataset string, body []byte) (*nodeReply, error) {
+	cands := r.candidates(dataset)
+	attempts := 0
+	var lastErr error
+	for attempts < r.opts.MaxAttempts {
+		tried := false
+		for _, id := range cands {
+			if attempts >= r.opts.MaxAttempts || ctx.Err() != nil {
+				break
+			}
+			ns := r.byID[id]
+			if !ns.breaker.Allow() {
+				continue
+			}
+			if attempts > 0 {
+				r.retries.Add(1)
+				if err := r.clock.Sleep(ctx, r.backoffDelay(attempts-1)); err != nil {
+					return nil, err
+				}
+			}
+			tried = true
+			attempts++
+			reply, err := r.tryNode(ctx, ns, dataset, body)
+			if err != nil {
+				ns.breaker.Failure()
+				ns.failure.Add(1)
+				r.health.MarkUnhealthy(id, dataset, err)
+				lastErr = err
+				continue
+			}
+			ns.breaker.Success()
+			ns.success.Add(1)
+			reply.attempts = attempts
+			if attempts > 1 {
+				r.failovers.Add(1)
+			}
+			return reply, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !tried {
+			// Every breaker rejected the pass: the dataset is effectively
+			// down right now; don't spin until MaxAttempts.
+			if lastErr == nil {
+				lastErr = errAllBreakersOpen
+			}
+			break
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("cluster: no replica available")
+	}
+	return nil, lastErr
+}
+
+// tryNode runs one forwarding attempt under the per-attempt timeout.
+// A reply is an error — triggering failover — on transport failure,
+// timeout, 5xx, or a body that is not valid JSON (a corrupt node must
+// not have its garbage relayed as an answer).
+func (r *Router) tryNode(ctx context.Context, ns *nodeState, dataset string, body []byte) (*nodeReply, error) {
+	actx, cancel := context.WithTimeout(ctx, r.opts.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost,
+		ns.node.URL+"/v1/"+url.PathEscape(dataset)+"/answer", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	reply, err := io.ReadAll(io.LimitReader(resp.Body, maxReplyBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 500 {
+		return nil, fmt.Errorf("node %s: status %d", ns.node.ID, resp.StatusCode)
+	}
+	if !json.Valid(reply) {
+		return nil, fmt.Errorf("node %s: corrupt response body", ns.node.ID)
+	}
+	return &nodeReply{node: ns.node.ID, status: resp.StatusCode, body: reply}, nil
+}
+
+// acquire takes a forwarding slot, waiting at most the queue timeout.
+func (r *Router) acquire(ctx context.Context) error {
+	select {
+	case r.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	timer := time.NewTimer(r.opts.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case r.sem <- struct{}{}:
+		return nil
+	case <-timer.C:
+		r.shed.Add(1)
+		return httpserve.ErrOverloaded
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (r *Router) handleAnswer(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	r.forwards.Add(1)
+	defer func() { r.lat.Record(time.Since(start)) }()
+
+	dataset := req.PathValue("dataset")
+	if dataset == "" {
+		dataset = r.defName
+	}
+	if !r.hosted[dataset] {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown dataset %q", dataset)})
+		return
+	}
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, r.opts.MaxBodyBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	// Best-effort single-text extraction: the stale cache only covers
+	// single-answer requests (a batch is not one answer to remember).
+	var parsed httpserve.AnswerRequest
+	staleKey := ""
+	if json.Unmarshal(body, &parsed) == nil && parsed.Text != "" && len(parsed.Texts) == 0 {
+		staleKey = dataset + "\x00" + httpserve.CacheKey(parsed.Text)
+	}
+
+	if err := r.acquire(req.Context()); err != nil {
+		r.failed.Add(1)
+		if errors.Is(err, httpserve.ErrOverloaded) {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, 499, errorBody{Error: err.Error()})
+		return
+	}
+	defer func() { <-r.sem }()
+
+	reply, err := r.forward(req.Context(), dataset, body)
+	if err == nil {
+		if r.stale != nil && staleKey != "" && reply.status == http.StatusOK {
+			r.stale.put(staleEntry{
+				key:        staleKey,
+				body:       reply.body,
+				node:       reply.node,
+				generation: r.health.Swaps(reply.node, dataset),
+				storedAt:   r.clock.Now(),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cicero-Node", reply.node)
+		w.Header().Set("X-Cicero-Attempts", strconv.Itoa(reply.attempts))
+		w.WriteHeader(reply.status)
+		w.Write(reply.body)
+		return
+	}
+	if req.Context().Err() != nil {
+		r.failed.Add(1)
+		writeJSON(w, 499, errorBody{Error: req.Context().Err().Error()})
+		return
+	}
+	// Every replica failed: graceful degradation — a stale answer with
+	// an explicit marker beats an error while the cluster heals.
+	if r.stale != nil && staleKey != "" {
+		if e, ok := r.stale.get(staleKey); ok {
+			r.staleServed.Add(1)
+			age := r.clock.Now().Sub(e.storedAt)
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Cicero-Node", e.node)
+			w.Header().Set("X-Cicero-Stale", "true")
+			w.WriteHeader(http.StatusOK)
+			w.Write(markStale(e.body, age, e.generation))
+			return
+		}
+	}
+	r.failed.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable,
+		errorBody{Error: fmt.Sprintf("every replica of %q is unavailable: %v", dataset, err)})
+}
+
+// markStale stamps the staleness marker into a cached answer body:
+// stale, stale_age_ns, and the generation (the answering node's store
+// swap count at capture) so clients can tell how old and which store
+// generation the answer reflects.
+func markStale(body []byte, age time.Duration, generation uint64) []byte {
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil || m == nil {
+		// Cached bodies were JSON-validated at capture; this path is a
+		// non-object answer — wrap it rather than lose the marker.
+		m = map[string]any{"answer": json.RawMessage(body)}
+	}
+	m["stale"] = true
+	m["stale_age_ns"] = age.Nanoseconds()
+	m["generation"] = generation
+	out, err := json.Marshal(m)
+	if err != nil {
+		return body
+	}
+	return out
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// NodeHealth is one node's row in the router healthz payload.
+type NodeHealth struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+	// Healthy reports every replica hosted on the node healthy.
+	Healthy bool `json:"healthy"`
+	// Breaker is the node's circuit-breaker state.
+	Breaker string `json:"breaker"`
+	// Replicas are the node's per-dataset probe verdicts.
+	Replicas []ReplicaHealth `json:"replicas"`
+}
+
+// DatasetHealth summarizes one dataset's replica availability.
+type DatasetHealth struct {
+	Replication int      `json:"replication"`
+	Available   int      `json:"available"`
+	Nodes       []string `json:"nodes"`
+}
+
+// HealthResponse is the router's GET /v1/healthz payload: the cluster
+// as the router sees it.
+type HealthResponse struct {
+	// Status is "ok" (full replication everywhere), "degraded" (some
+	// dataset below its replication factor), or "down" (some dataset
+	// has zero available replicas — only stale answers remain for it).
+	Status   string                   `json:"status"`
+	Nodes    []NodeHealth             `json:"nodes"`
+	Datasets map[string]DatasetHealth `json:"datasets"`
+	UptimeNS time.Duration            `json:"uptime_ns"`
+}
+
+// HealthSnapshot assembles the router healthz payload.
+func (r *Router) HealthSnapshot() HealthResponse {
+	byNode := make(map[string][]ReplicaHealth)
+	for _, rep := range r.health.Snapshot() {
+		byNode[rep.Node] = append(byNode[rep.Node], rep)
+	}
+	resp := HealthResponse{
+		Status:   "ok",
+		Datasets: make(map[string]DatasetHealth, len(r.datasets)),
+		UptimeNS: time.Since(r.started),
+	}
+	for _, n := range r.nodes {
+		nh := NodeHealth{
+			ID:       n.ID,
+			URL:      n.URL,
+			Healthy:  true,
+			Breaker:  r.byID[n.ID].breaker.State().String(),
+			Replicas: byNode[n.ID],
+		}
+		for _, rep := range nh.Replicas {
+			if !rep.Healthy {
+				nh.Healthy = false
+			}
+		}
+		resp.Nodes = append(resp.Nodes, nh)
+	}
+	for _, ds := range r.datasets {
+		dh := DatasetHealth{Replication: r.ring.ReplicationFactor(), Nodes: r.ring.Replicas(ds)}
+		for _, n := range dh.Nodes {
+			if r.health.Healthy(n, ds) {
+				dh.Available++
+			}
+		}
+		resp.Datasets[ds] = dh
+		if dh.Available == 0 {
+			resp.Status = "down"
+		} else if dh.Available < dh.Replication && resp.Status == "ok" {
+			resp.Status = "degraded"
+		}
+	}
+	return resp
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, r.HealthSnapshot())
+}
+
+// NodeStats is one node's forwarding counters.
+type NodeStats struct {
+	Success uint64 `json:"success"`
+	Failure uint64 `json:"failure"`
+	Breaker string `json:"breaker"`
+}
+
+// StatsSnapshot is the router's GET /v1/stats payload.
+type StatsSnapshot struct {
+	UptimeNS    time.Duration         `json:"uptime_ns"`
+	Forwards    uint64                `json:"forwards"`
+	Retries     uint64                `json:"retries"`
+	Failovers   uint64                `json:"failovers"`
+	StaleServed uint64                `json:"stale_served"`
+	Shed        uint64                `json:"shed"`
+	Failed      uint64                `json:"failed"`
+	Latency     stats.LatencySnapshot `json:"latency"`
+	Nodes       map[string]NodeStats  `json:"nodes"`
+	StaleSize   int                   `json:"stale_entries"`
+	MaxInFlight int                   `json:"max_in_flight"`
+	InFlight    int                   `json:"in_flight"`
+}
+
+// Stats snapshots the router's forwarding metrics.
+func (r *Router) Stats() StatsSnapshot {
+	snap := StatsSnapshot{
+		UptimeNS:    time.Since(r.started),
+		Forwards:    r.forwards.Load(),
+		Retries:     r.retries.Load(),
+		Failovers:   r.failovers.Load(),
+		StaleServed: r.staleServed.Load(),
+		Shed:        r.shed.Load(),
+		Failed:      r.failed.Load(),
+		Latency:     r.lat.Snapshot(),
+		Nodes:       make(map[string]NodeStats, len(r.nodes)),
+		MaxInFlight: r.opts.MaxInFlight,
+		InFlight:    len(r.sem),
+	}
+	if r.stale != nil {
+		snap.StaleSize = r.stale.len()
+	}
+	for id, ns := range r.byID {
+		snap.Nodes[id] = NodeStats{
+			Success: ns.success.Load(),
+			Failure: ns.failure.Load(),
+			Breaker: ns.breaker.State().String(),
+		}
+	}
+	return snap
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, r.Stats())
+}
+
+// RoutedDataset is one row of the router's GET /v1/datasets payload.
+type RoutedDataset struct {
+	Name     string   `json:"name"`
+	Default  bool     `json:"default,omitempty"`
+	Replicas []string `json:"replicas"`
+}
+
+func (r *Router) handleDatasets(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	out := struct {
+		Datasets []RoutedDataset `json:"datasets"`
+	}{}
+	for _, ds := range r.datasets {
+		out.Datasets = append(out.Datasets, RoutedDataset{
+			Name:     ds,
+			Default:  ds == r.defName,
+			Replicas: r.ring.Replicas(ds),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// staleEntry is one remembered good answer: the raw response body of
+// the last successful forward for a (dataset, canonical text) key,
+// tagged with the node that answered and the generation (store swap
+// count) its store was at. The router serves it — explicitly marked
+// stale — when every replica of the dataset is down, trading
+// freshness for availability instead of failing.
+type staleEntry struct {
+	key        string
+	body       []byte
+	node       string
+	generation uint64
+	storedAt   time.Time
+}
+
+// staleCache is a bounded LRU of last-good answers. A plain mutex is
+// fine here: the cache sits behind a network hop, and lookups happen
+// only on the (rare) total-outage path plus one put per successful
+// single-text answer.
+type staleCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List
+	byKey map[string]*list.Element
+}
+
+func newStaleCache(max int) *staleCache {
+	if max <= 0 {
+		max = 4096
+	}
+	return &staleCache{max: max, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+func (c *staleCache) put(e staleEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[e.key]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[e.key] = c.ll.PushFront(e)
+	if c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.byKey, last.Value.(staleEntry).key)
+	}
+}
+
+func (c *staleCache) get(key string) (staleEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return staleEntry{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(staleEntry), true
+}
+
+func (c *staleCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -103,6 +103,7 @@ type DatasetSnapshot struct {
 // StatsSnapshot is the full GET /v1/stats payload.
 type StatsSnapshot struct {
 	UptimeNS  time.Duration              `json:"uptime_ns"`
+	Panics    uint64                     `json:"panics_total"`
 	Routes    map[string]RouteSnapshot   `json:"routes"`
 	Cache     CacheSnapshot              `json:"cache"`
 	Deduped   uint64                     `json:"singleflight_shared"`

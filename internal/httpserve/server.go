@@ -209,7 +209,9 @@ type Server struct {
 	started  time.Time
 	swaps    atomic.Uint64
 	rejected atomic.Uint64
+	panics   atomic.Uint64
 	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped in panic recovery
 
 	mAnswer  *routeMetrics
 	mHealthz *routeMetrics
@@ -274,6 +276,7 @@ func newServer(tenants tenantSet, defName string, opts Options) *Server {
 	s.mux.HandleFunc("/v1/{dataset}/answer", s.handleAnswer)
 	s.mux.HandleFunc("/v1/{dataset}/stats", s.handleDatasetStats)
 	s.mux.HandleFunc("/v1/{dataset}/healthz", s.handleDatasetHealthz)
+	s.handler = s.recoverMiddleware(s.mux)
 	return s
 }
 
@@ -294,9 +297,9 @@ func (s *Server) dataset(name string) *datasetMetrics {
 	return m
 }
 
-// Handler returns the route multiplexer, ready for http.Server or
-// httptest.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the route multiplexer wrapped in panic recovery,
+// ready for http.Server or httptest.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // CacheKey canonicalizes request text into its cache/singleflight
 // identity: two phrasings normalize equal exactly when classification
@@ -534,6 +537,7 @@ func (s *Server) loadedSpeeches() (speeches, loaded int) {
 func (s *Server) Stats() StatsSnapshot {
 	snap := StatsSnapshot{
 		UptimeNS: time.Since(s.started),
+		Panics:   s.panics.Load(),
 		Routes: map[string]RouteSnapshot{
 			"answer":  s.mAnswer.snapshot(),
 			"healthz": s.mHealthz.snapshot(),

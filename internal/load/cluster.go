@@ -1,0 +1,274 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cicero/internal/stats"
+)
+
+// This file extends the harness to drive a cluster through its router:
+// the same zipf workload, plus the observations single-node runs don't
+// need — which node served each answer (per-node balance), whether it
+// was a stale degradation answer, and an error timeline from which the
+// failover gap after a node loss is computed. Results marshal to the
+// BENCH_cluster.json artifact CI archives.
+
+// ClusterOptions shapes a cluster replay.
+type ClusterOptions struct {
+	// Workers is the concurrent client count (default 8).
+	Workers int
+	// RatePerSec paces the aggregate request rate so a run spans real
+	// time — long enough to kill a node in the middle of it (0 replays
+	// as fast as possible).
+	RatePerSec float64
+	// Bucket is the error-timeline bucket width (default 250ms).
+	Bucket time.Duration
+}
+
+// ErrorBucket is one slice of the run's error timeline.
+type ErrorBucket struct {
+	// StartNS is the bucket's start offset from the run start.
+	StartNS  time.Duration `json:"start_ns"`
+	Requests int           `json:"requests"`
+	Errors   int           `json:"errors"`
+	Stale    int           `json:"stale"`
+}
+
+// ClusterResult is the outcome of one cluster load run, JSON-shaped
+// for BENCH_cluster.json. It embeds the single-target Result (aggregate
+// latency percentiles, throughput, error count) and adds the
+// cluster-level split.
+type ClusterResult struct {
+	Result
+	// RatePerSec echoes the pacing (0 = unpaced).
+	RatePerSec float64 `json:"rate_per_sec"`
+	// PerNode counts answers by the node that served them (the
+	// router's X-Cicero-Node attribution).
+	PerNode map[string]int `json:"per_node"`
+	// Balance is min/max over the per-node counts — 1.0 is a perfectly
+	// balanced cluster, 0 means some node served nothing (e.g. it was
+	// killed mid-run).
+	Balance float64 `json:"node_balance"`
+	// Stale counts answers served from the router's stale cache (all
+	// replicas of the dataset were down at that moment).
+	Stale int `json:"stale_served"`
+	// ErrorBudget is Errors over Requests.
+	ErrorBudget float64 `json:"error_budget"`
+	// FailoverGapNS spans the first to the last client-visible error —
+	// the window a node loss was observable before retries, breakers,
+	// and health checks routed around it. 0 when no request failed.
+	FailoverGapNS time.Duration `json:"failover_gap_ns"`
+	// TailErrors counts errors in the final quarter of the run; after
+	// failover settles it must be 0.
+	TailErrors int `json:"tail_errors"`
+	// Timeline is the bucketed request/error/stale history.
+	Timeline []ErrorBucket `json:"timeline"`
+}
+
+// RunCluster replays texts against one dataset through a cluster
+// router at baseURL. Per-request errors are counted, never fatal; see
+// ClusterOptions for pacing. The context cancels the run early (un-sent
+// requests count as errors, like Run).
+func RunCluster(ctx context.Context, client *http.Client, baseURL, dataset string, texts []string, opts ClusterOptions) ClusterResult {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 8
+	}
+	if workers > len(texts) && len(texts) > 0 {
+		workers = len(texts)
+	}
+	bucket := opts.Bucket
+	if bucket <= 0 {
+		bucket = 250 * time.Millisecond
+	}
+	if client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = workers
+		client = &http.Client{Transport: tr}
+	}
+	url := strings.TrimRight(baseURL, "/") + "/v1/answer"
+	if dataset != "" {
+		url = strings.TrimRight(baseURL, "/") + "/v1/" + dataset + "/answer"
+	}
+
+	outcomes := make([]outcome, len(texts))
+	for i := range outcomes {
+		outcomes[i].err = true
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				begin := time.Since(start)
+				outcomes[i] = answerOnce(ctx, client, url, texts[i])
+				outcomes[i].begin = begin
+			}
+		}()
+	}
+feed:
+	for i := range texts {
+		if opts.RatePerSec > 0 {
+			// Pace against the ideal schedule, not the previous send, so
+			// a slow stretch doesn't permanently lower the rate.
+			due := start.Add(time.Duration(float64(i) / opts.RatePerSec * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					break feed
+				}
+			}
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := ClusterResult{
+		Result: Result{
+			Benchmark:  "cluster",
+			Target:     baseURL,
+			Dataset:    dataset,
+			Requests:   len(texts),
+			Workers:    workers,
+			DurationNS: elapsed,
+			ByKind:     map[string]int{},
+		},
+		RatePerSec: opts.RatePerSec,
+		PerNode:    map[string]int{},
+	}
+	lats := make([]time.Duration, 0, len(texts))
+	var sum time.Duration
+	var firstErr, lastErr time.Duration = -1, -1
+	tailStart := elapsed * 3 / 4
+	buckets := int(elapsed/bucket) + 1
+	res.Timeline = make([]ErrorBucket, buckets)
+	for b := range res.Timeline {
+		res.Timeline[b].StartNS = time.Duration(b) * bucket
+	}
+	for _, o := range outcomes {
+		b := int(o.begin / bucket)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		res.Timeline[b].Requests++
+		if o.err {
+			res.Errors++
+			res.Timeline[b].Errors++
+			if firstErr < 0 {
+				firstErr = o.begin
+			}
+			if o.begin > lastErr {
+				lastErr = o.begin
+			}
+			if o.begin >= tailStart {
+				res.TailErrors++
+			}
+			continue
+		}
+		lats = append(lats, o.lat)
+		sum += o.lat
+		if o.lat > res.Latency.Max {
+			res.Latency.Max = o.lat
+		}
+		if o.cached {
+			res.Cached++
+		}
+		if o.shared {
+			res.Shared++
+		}
+		if o.stale {
+			res.Stale++
+			res.Timeline[b].Stale++
+		}
+		if o.node != "" {
+			res.PerNode[o.node]++
+		}
+		res.ByKind[o.kind]++
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		res.Latency.P50 = stats.PercentileDuration(lats, 0.50)
+		res.Latency.P95 = stats.PercentileDuration(lats, 0.95)
+		res.Latency.P99 = stats.PercentileDuration(lats, 0.99)
+		res.Latency.Mean = sum / time.Duration(len(lats))
+		res.HitRate = float64(res.Cached) / float64(len(lats))
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(len(texts)-res.Errors) / elapsed.Seconds()
+	}
+	if res.Requests > 0 {
+		res.ErrorBudget = float64(res.Errors) / float64(res.Requests)
+	}
+	if firstErr >= 0 {
+		res.FailoverGapNS = lastErr - firstErr
+	}
+	if min, max := perNodeSpread(res.PerNode); max > 0 {
+		res.Balance = float64(min) / float64(max)
+	}
+	return res
+}
+
+// perNodeSpread returns the smallest and largest per-node counts.
+func perNodeSpread(perNode map[string]int) (min, max int) {
+	first := true
+	for _, c := range perNode {
+		if first || c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+		first = false
+	}
+	return min, max
+}
+
+// ClusterSummary renders a one-screen human report of a cluster run.
+func (r ClusterResult) ClusterSummary() string {
+	var b strings.Builder
+	b.WriteString(r.Summary())
+	nodes := make([]string, 0, len(r.PerNode))
+	for n := range r.PerNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "  node %-8s %d answers\n", n, r.PerNode[n])
+	}
+	fmt.Fprintf(&b, "balance %.2f  stale %d  error budget %.4f  failover gap %v  tail errors %d\n",
+		r.Balance, r.Stale, r.ErrorBudget, r.FailoverGapNS.Round(time.Millisecond), r.TailErrors)
+	return b.String()
+}
+
+// WriteFile writes the cluster result to path (BENCH_cluster.json).
+func (r ClusterResult) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,170 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cicero/internal/cluster"
+	"cicero/internal/dataset"
+	"cicero/internal/engine"
+	"cicero/internal/httpserve"
+	"cicero/internal/relation"
+	"cicero/internal/serve"
+	"cicero/internal/voice"
+)
+
+// newClusterAnswerer builds the flights answerer all replicas share —
+// the in-process equivalent of three nodes bootstrapped from the same
+// snapshot artifact.
+func newClusterAnswerer(t testing.TB) (*serve.Answerer, *relation.Relation) {
+	t.Helper()
+	rel := dataset.Flights(2000, 1)
+	cfg := engine.DefaultConfig(rel)
+	cfg.Targets = []string{"cancelled"}
+	cfg.Dimensions = []string{"season", "airline"}
+	cfg.MaxQueryLen = 1
+	sum := &engine.Summarizer{
+		Rel: rel, Config: cfg, Alg: engine.AlgGreedyOpt,
+		Template: engine.Template{TargetPhrase: "cancellation probability", Percent: true},
+	}
+	store, _, err := sum.Preprocess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := voice.NewExtractor(rel, voice.DefaultSamples("flights"), 2)
+	return serve.New(rel, store, ex, serve.Options{}), rel
+}
+
+func TestRunClusterSurvivesNodeKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second paced cluster run")
+	}
+	answerer, rel := newClusterAnswerer(t)
+
+	backends := map[string]*httptest.Server{}
+	var nodes []cluster.Node
+	for _, id := range []string{"n1", "n2", "n3"} {
+		reg := serve.NewRegistry()
+		if err := reg.Add("flights", answerer); err != nil {
+			t.Fatal(err)
+		}
+		s := httpserve.NewMulti(reg, "flights", httpserve.Options{})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		backends[id] = ts
+		nodes = append(nodes, cluster.Node{ID: id, URL: ts.URL})
+	}
+
+	r, err := cluster.New(nodes, []string{"flights"}, cluster.Options{
+		Replication:    2,
+		RequestTimeout: time.Second,
+		HealthInterval: 100 * time.Millisecond,
+		Backoff:        cluster.BackoffPolicy{Base: 5 * time.Millisecond, Max: 25 * time.Millisecond, Multiplier: 2, Jitter: 0.2},
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r.CheckHealth(ctx)
+	go r.Run(ctx)
+	front := httptest.NewServer(r.Handler())
+	defer front.Close()
+
+	texts := Generate(rel, Options{
+		Requests: 600, Distinct: 24, Seed: 42,
+		TargetPhrases: voice.SpokenTargetPhrases(voice.DefaultSamples("flights")),
+	})
+
+	// Kill a replica of flights mid-run: the listener drops and every
+	// in-flight connection resets, like a SIGKILL'd process.
+	victim := r.Ring().Replicas("flights")[0]
+	killed := make(chan struct{})
+	go func() {
+		time.Sleep(500 * time.Millisecond)
+		backends[victim].CloseClientConnections()
+		backends[victim].Close()
+		close(killed)
+	}()
+
+	res := RunCluster(ctx, nil, front.URL, "flights", texts, ClusterOptions{
+		Workers: 8, RatePerSec: 400,
+	})
+	<-killed
+
+	t.Logf("\n%s", res.ClusterSummary())
+	if res.Errors > 0 {
+		// Failover retries should absorb the kill; any client-visible
+		// errors must at least have stopped by the tail of the run.
+		t.Logf("errors during kill window: %d (gap %v)", res.Errors, res.FailoverGapNS)
+	}
+	if res.TailErrors != 0 {
+		t.Fatalf("%d errors in the final quarter — failover never settled", res.TailErrors)
+	}
+	if res.Requests != 600 {
+		t.Fatalf("requests %d, want 600", res.Requests)
+	}
+	surviving := 0
+	for node, count := range res.PerNode {
+		if node != victim && count > 0 {
+			surviving++
+		}
+	}
+	if surviving == 0 {
+		t.Fatalf("no surviving node served traffic: %v", res.PerNode)
+	}
+
+	// The router's health view must reflect the dead node once the
+	// sweep catches up.
+	deadlineAt := time.Now().Add(3 * time.Second)
+	for {
+		snap := r.HealthSnapshot()
+		dead := false
+		for _, n := range snap.Nodes {
+			if n.ID == victim && !n.Healthy {
+				dead = true
+			}
+		}
+		if dead {
+			break
+		}
+		if time.Now().After(deadlineAt) {
+			t.Fatalf("router healthz never marked %s unhealthy", victim)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// The artifact round-trips.
+	path := filepath.Join(t.TempDir(), "BENCH_cluster.json")
+	if err := res.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ClusterResult
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Requests != res.Requests || back.TailErrors != res.TailErrors {
+		t.Fatalf("artifact round-trip mismatch: %+v vs %+v", back.Result, res.Result)
+	}
+}
+
+func TestPerNodeSpread(t *testing.T) {
+	min, max := perNodeSpread(map[string]int{"a": 3, "b": 9, "c": 6})
+	if min != 3 || max != 9 {
+		t.Fatalf("spread (%d, %d), want (3, 9)", min, max)
+	}
+	min, max = perNodeSpread(nil)
+	if min != 0 || max != 0 {
+		t.Fatalf("empty spread (%d, %d)", min, max)
+	}
+}

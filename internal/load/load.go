@@ -355,12 +355,18 @@ feed:
 	return res
 }
 
-// outcome is one request's client-side observation.
+// outcome is one request's client-side observation. node and stale are
+// populated only behind a cluster router (from the X-Cicero-Node
+// header and the stale marker); begin is the request's start offset
+// from the run start, for the cluster error timeline.
 type outcome struct {
 	lat    time.Duration
+	begin  time.Duration
 	kind   string
+	node   string
 	cached bool
 	shared bool
+	stale  bool
 	err    bool
 }
 
@@ -380,7 +386,10 @@ func answerOnce(ctx context.Context, client *http.Client, url, text string) (o o
 		return o
 	}
 	defer resp.Body.Close()
-	var ans httpserve.AnswerResponse
+	var ans struct {
+		httpserve.AnswerResponse
+		Stale bool `json:"stale"`
+	}
 	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&ans) != nil {
 		io.Copy(io.Discard, resp.Body)
 		o.err = true
@@ -390,6 +399,8 @@ func answerOnce(ctx context.Context, client *http.Client, url, text string) (o o
 	o.kind = ans.Kind
 	o.cached = ans.Cached
 	o.shared = ans.Shared
+	o.stale = ans.Stale
+	o.node = resp.Header.Get("X-Cicero-Node")
 	return o
 }
 

@@ -195,23 +195,50 @@ func WriteFile(path string, store *engine.Store, rel *relation.Relation) error {
 	return WriteFileTagged(path, store, rel, "")
 }
 
-// WriteFileTagged writes the snapshot atomically: the bytes go to a
-// temporary file next to path, which is renamed into place only after
-// a successful write, so readers never observe a torn snapshot. See
-// WriteTagged for the fingerprint semantics.
+// WriteFileTagged writes the snapshot atomically and durably: the
+// bytes go to a temporary file next to path, which is fsynced and then
+// renamed into place — with the parent directory fsynced after the
+// rename — so readers never observe a torn snapshot and a crash right
+// after return cannot lose it. See WriteTagged for the fingerprint
+// semantics.
 func WriteFileTagged(path string, store *engine.Store, rel *relation.Relation, fingerprint string) error {
+	return atomicWriteFile(path, func(w io.Writer) error {
+		return WriteTagged(w, store, rel, fingerprint)
+	})
+}
+
+// atomicWriteFile renders write's output into path with the
+// temp-file → fsync → rename → fsync-dir discipline. Split out so
+// tests can drive the commit path with a faulting writer.
+func atomicWriteFile(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := WriteTagged(tmp, store, rel, fingerprint); err != nil {
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	// The data must be on stable storage before the rename publishes
+	// it: rename-then-crash must never leave a named empty file.
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// And the rename itself must survive: fsync the parent directory so
+	// the new directory entry is durable too.
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }

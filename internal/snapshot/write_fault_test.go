@@ -1,0 +1,105 @@
+package snapshot
+
+// Fault-injection tests for the durable write path: a write that fails
+// partway through must never publish a snapshot at the target path,
+// and the atomic commit must tolerate a failure at every individual
+// Write call.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cicero/internal/dataset"
+)
+
+// faultingWriter fails the Nth Write call (1-based) and every call
+// after it, counting calls so tests can enumerate the failure points.
+type faultingWriter struct {
+	w      io.Writer
+	calls  int
+	failAt int
+}
+
+var errWriteFault = errors.New("injected write fault")
+
+func (f *faultingWriter) Write(p []byte) (int, error) {
+	f.calls++
+	if f.failAt > 0 && f.calls >= f.failAt {
+		return 0, errWriteFault
+	}
+	return f.w.Write(p)
+}
+
+func TestWriteTaggedSurfacesEveryWriteFault(t *testing.T) {
+	rel := dataset.Flights(300, 1)
+	store := buildStore(t, rel, 1)
+
+	// Count the writes of a clean run, then fail each one in turn.
+	probe := &faultingWriter{w: io.Discard}
+	if err := WriteTagged(probe, store, rel, "fp"); err != nil {
+		t.Fatal(err)
+	}
+	if probe.calls < 2 {
+		t.Fatalf("expected at least header+payload writes, got %d", probe.calls)
+	}
+	for failAt := 1; failAt <= probe.calls; failAt++ {
+		fw := &faultingWriter{w: io.Discard, failAt: failAt}
+		if err := WriteTagged(fw, store, rel, "fp"); !errors.Is(err, errWriteFault) {
+			t.Fatalf("fault at write %d/%d: error %v, want the injected fault", failAt, probe.calls, err)
+		}
+	}
+}
+
+func TestAtomicWriteFileNeverPublishesPartialFile(t *testing.T) {
+	rel := dataset.Flights(300, 1)
+	store := buildStore(t, rel, 1)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "flights.snap")
+
+	// Fail the payload at every write position: the target path must not
+	// exist afterwards, and no temp file may leak.
+	probe := &faultingWriter{w: io.Discard}
+	_ = WriteTagged(probe, store, rel, "fp")
+	for failAt := 1; failAt <= probe.calls; failAt++ {
+		err := atomicWriteFile(path, func(w io.Writer) error {
+			return WriteTagged(&faultingWriter{w: w, failAt: failAt}, store, rel, "fp")
+		})
+		if !errors.Is(err, errWriteFault) {
+			t.Fatalf("fault at write %d: error %v", failAt, err)
+		}
+		if _, statErr := os.Stat(path); !errors.Is(statErr, os.ErrNotExist) {
+			t.Fatalf("fault at write %d published %s", failAt, path)
+		}
+		leftovers, _ := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+		if len(leftovers) != 0 {
+			t.Fatalf("fault at write %d leaked temp files: %v", failAt, leftovers)
+		}
+	}
+
+	// The clean run publishes a loadable snapshot.
+	if err := WriteFileTagged(path, store, rel, "fp"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadFile(path, rel)
+	if err != nil {
+		t.Fatalf("snapshot written through the durable path does not load: %v", err)
+	}
+	if loaded.Len() != store.Len() {
+		t.Fatalf("loaded %d speeches, wrote %d", loaded.Len(), store.Len())
+	}
+
+	// A failed overwrite leaves the previous good snapshot in place.
+	err = atomicWriteFile(path, func(w io.Writer) error {
+		return fmt.Errorf("builder exploded before writing")
+	})
+	if err == nil {
+		t.Fatal("failing builder reported success")
+	}
+	if again, err := ReadFile(path, rel); err != nil || again.Len() != store.Len() {
+		t.Fatalf("failed overwrite damaged the published snapshot: %v", err)
+	}
+}
