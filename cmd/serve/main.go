@@ -13,9 +13,15 @@
 // pre-processing per dataset on an interval, hot-swaps the fresh store
 // in with zero downtime, and refreshes the snapshot artifact.
 //
+// With -patch-dir it additionally replays each dataset's patch artifact
+// (summarize -patch-out) over the base store at cold start: an
+// incremental publish reaches a rebooted daemon as base snapshot +
+// patch journal, with no re-summarization.
+//
 //	serve -data flights -addr :8080
 //	serve -datasets acs,flights -snapshot-dir snapshots -addr :8080
 //	serve -datasets acs,flights -snapshot-dir snapshots -rebuild 10m
+//	serve -data flights -snapshot-dir snapshots -patch-dir patches
 //
 // With -loadgen it runs the load-generation harness instead: a mixed
 // zipf-skewed workload (summary/extremum/comparison/repeat) is replayed
@@ -51,6 +57,7 @@ import (
 
 	"cicero/internal/cluster"
 	"cicero/internal/dataset"
+	"cicero/internal/delta"
 	"cicero/internal/engine"
 	"cicero/internal/httpserve"
 	"cicero/internal/load"
@@ -72,6 +79,7 @@ func main() {
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "pre-processing workers")
 		rebuild  = flag.Duration("rebuild", 0, "re-summarize and hot-swap each dataset on this interval (0 disables)")
 		snapDir  = flag.String("snapshot-dir", "", "cold-start datasets from <dir>/<name>.snap and keep the snapshots fresh")
+		patchDir = flag.String("patch-dir", "", "replay <dir>/<name>.patch (summarize -patch-out) over each base store at cold start; fingerprint-gated")
 		useMmap  = flag.Bool("mmap", true, "serve snapshots zero-copy from the mapped file (false: decode into the heap)")
 
 		node      = flag.String("node", "", "this node's ID on the cluster hash ring (cluster mode)")
@@ -102,6 +110,15 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// A rebuild regenerates from the raw source, which does not include
+	// the patch's row delta: the swap would silently revert the served
+	// answers to the pre-delta state (and desync the answerer's patched
+	// relation from the swapped store). Refuse the combination until the
+	// delta is folded into the source.
+	if *patchDir != "" && *rebuild > 0 {
+		fatalf("-patch-dir is a cold-start replay over the base snapshot; combine it with -rebuild only after folding the delta into the raw data")
+	}
 
 	names := datasetNames(*datasets, *data)
 	// Cluster mode: every node is started with the same -cluster-nodes /
@@ -180,8 +197,13 @@ func main() {
 		if err != nil {
 			fatalf("mounting %s: %v", name, err)
 		}
-		ex := voice.NewExtractor(rels[name], voice.DefaultSamples(name), *maxLen)
-		if err := reg.Add(name, serve.New(rels[name], store, ex, serve.Options{})); err != nil {
+		// A patch replay produces a patched relation alongside the patched
+		// store; the extractor and answerer must be built against it, or
+		// dictionary values introduced by the delta would not resolve.
+		store, prel := applyColdPatch(name, rels[name], store, *patchDir, fingerprint(name))
+		rels[name] = prel
+		ex := voice.NewExtractor(prel, voice.DefaultSamples(name), *maxLen)
+		if err := reg.Add(name, serve.New(prel, store, ex, serve.Options{})); err != nil {
 			fatalf("registering %s: %v", name, err)
 		}
 	}
@@ -299,6 +321,47 @@ func bootStore(ctx context.Context, name string, rel *relation.Relation, dir str
 		fmt.Fprintf(os.Stderr, "%s: snapshot written to %s\n", name, snapPath(dir, name))
 	}
 	return store, nil
+}
+
+// applyColdPatch replays the dataset's patch artifact over its base
+// store view when one exists: the cold-start story of an incremental
+// publish is base snapshot + patch journal — retained speeches are
+// copied, upserts restored, removals dropped, no problem re-solved.
+// The patch's base fingerprint must match this boot's (a patch cut
+// against a different base would splice two generations); a missing,
+// corrupt, or mismatched patch leaves the base servable.
+func applyColdPatch(name string, rel *relation.Relation, view engine.StoreView, patchDir, fingerprint string) (engine.StoreView, *relation.Relation) {
+	if patchDir == "" {
+		return view, rel
+	}
+	path := filepath.Join(patchDir, name+".patch")
+	p, err := snapshot.ReadPatchFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return view, rel
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "%s: patch %s rejected (%v); serving the base\n", name, path, err)
+		return view, rel
+	}
+	if p.BaseFingerprint != fingerprint {
+		fmt.Fprintf(os.Stderr, "%s: patch %s cut against a different base (%q, this boot built %q); serving the base\n",
+			name, path, p.BaseFingerprint, fingerprint)
+		return view, rel
+	}
+	start := time.Now()
+	store, next, err := delta.Replay(view, rel, p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: patch replay failed (%v); serving the base\n", name, err)
+		return view, rel
+	}
+	// The replayed store deep-copies everything it keeps, so an
+	// mmap-backed base can be unmapped now instead of pinning the file.
+	if m, ok := view.(*snapshot.Map); ok {
+		m.Close()
+	}
+	fmt.Fprintf(os.Stderr, "%s: patch %s replayed — %d upserts, %d removals in %v\n",
+		name, path, len(p.Upserts), len(p.RemovedKeys), time.Since(start).Round(time.Microsecond))
+	return store, next
 }
 
 // snapView opens a snapshot as a serving view only if its build

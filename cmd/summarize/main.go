@@ -13,6 +13,17 @@
 //	summarize -data acs -checkpoint acs.ckpt -resume    # after a ctrl-C
 //	summarize -data acs -snapshot-out snapshots/acs.snap
 //	  # emit the deployable binary artifact cmd/serve cold-starts from
+//
+// With -delta (a row-op journal) or -delta-synth (a synthesized one) it
+// runs the incremental path instead: only the problems the changed rows
+// can influence are re-solved against the base store (-delta-base, or
+// built in-process), and -patch-out emits the patch artifact cmd/serve
+// replays over the base snapshot at cold start. -delta-bench measures
+// the incremental publish against the full rebuild it replaces and
+// verifies bit-parity (BENCH_delta.json).
+//
+//	summarize -data acs -prior zero -delta-synth 8 -delta-bench BENCH_delta.json
+//	summarize -data acs -delta ops.json -delta-base snapshots/acs.snap -patch-out snapshots/acs.patch
 package main
 
 import (
@@ -44,6 +55,8 @@ func main() {
 		alg        = flag.String("alg", "", "deprecated alias for -solver")
 		maxLen     = flag.Int("maxlen", 2, "maximal query length (predicates)")
 		maxFacts   = flag.Int("facts", 3, "facts per speech")
+		prior      = flag.String("prior", "", "error prior: zero or global-mean (default: config)")
+		rows       = flag.Int("rows", 0, "rows to generate for a built-in data set (0: its default size)")
 		show       = flag.Int("show", 5, "number of sample speeches to print")
 		seed       = flag.Int64("seed", 1, "data generation seed")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-problem timeout for the exact algorithm")
@@ -55,10 +68,16 @@ func main() {
 		out        = flag.String("out", "", "write the speech store to this JSON file")
 		snapOut    = flag.String("snapshot-out", "", "write the speech store as a binary snapshot (the deployable artifact cmd/serve cold-starts from)")
 		benchOut   = flag.String("bench-out", "", "write the batch statistics as a JSON benchmark artifact (BENCH_summarize.json)")
+
+		deltaFile  = flag.String("delta", "", "row-op journal (JSON) to ingest incrementally instead of a full batch")
+		deltaSynth = flag.Int("delta-synth", 0, "synthesize this many row updates and ingest them incrementally")
+		deltaBase  = flag.String("delta-base", "", "base snapshot the delta patches (empty: build the base in-process)")
+		patchOut   = flag.String("patch-out", "", "write the patch artifact (base fingerprint + delta journal) for cmd/serve cold-start replay")
+		deltaBench = flag.String("delta-bench", "", "benchmark the incremental publish against a full rebuild and verify parity (BENCH_delta.json)")
 	)
 	flag.Parse()
 
-	rel, cfg, err := loadInput(*dataName, *csvPath, *configPath, *seed)
+	rel, cfg, err := loadInput(*dataName, *csvPath, *configPath, *seed, *rows)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "summarize:", err)
 		os.Exit(1)
@@ -67,12 +86,40 @@ func main() {
 		cfg.MaxQueryLen = *maxLen
 		cfg.MaxFacts = *maxFacts
 	}
+	switch engine.PriorMode(*prior) {
+	case "":
+		// Keep the config's prior.
+	case engine.PriorZero, engine.PriorGlobalMean:
+		cfg.Prior = engine.PriorMode(*prior)
+	default:
+		fmt.Fprintf(os.Stderr, "summarize: unknown -prior %q (want zero or global-mean)\n", *prior)
+		os.Exit(1)
+	}
 	solverName := *solver
 	if solverName == "" {
 		solverName = *alg
 	}
 	if solverName == "" {
 		solverName = string(engine.AlgGreedyOpt)
+	}
+
+	if *deltaFile != "" || *deltaSynth > 0 {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		popts := pipeline.Options{
+			Solver:  solverName,
+			Workers: *workers,
+			Solve:   summarize.Options{Timeout: *timeout, Workers: *kernelW, WarmStart: *warmStart},
+		}
+		runDelta(ctx, rel, cfg, solverName, *seed, popts, deltaFlags{
+			opsFile:  *deltaFile,
+			synth:    *deltaSynth,
+			basePath: *deltaBase,
+			patchOut: *patchOut,
+			benchOut: *deltaBench,
+			show:     *show,
+		})
+		return
 	}
 
 	// An unwritable snapshot destination must fail now, not after the
@@ -245,8 +292,10 @@ func writeBenchArtifact(path string, rel *relation.Relation, solverName string, 
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// loadInput resolves the input relation and configuration.
-func loadInput(dataName, csvPath, configPath string, seed int64) (*relation.Relation, engine.Config, error) {
+// loadInput resolves the input relation and configuration. rows
+// overrides a built-in data set's default size (0 keeps the default);
+// it does not apply to CSV input.
+func loadInput(dataName, csvPath, configPath string, seed int64, rows int) (*relation.Relation, engine.Config, error) {
 	if csvPath != "" {
 		if configPath == "" {
 			return nil, engine.Config{}, fmt.Errorf("-csv requires -config (schema is read from the config)")
@@ -265,8 +314,21 @@ func loadInput(dataName, csvPath, configPath string, seed int64) (*relation.Rela
 		}
 		return rel, cfg, nil
 	}
-	rel := dataset.ByName(strings.ToLower(dataName), seed)
-	if rel == nil {
+	name := strings.ToLower(dataName)
+	if rows <= 0 {
+		rows = dataset.DefaultRows[name]
+	}
+	var rel *relation.Relation
+	switch name {
+	case "acs":
+		rel = dataset.ACS(rows, seed)
+	case "stackoverflow":
+		rel = dataset.StackOverflow(rows, seed)
+	case "flights":
+		rel = dataset.Flights(rows, seed)
+	case "primaries":
+		rel = dataset.Primaries(rows, seed)
+	default:
 		return nil, engine.Config{}, fmt.Errorf("unknown data set %q (want acs, stackoverflow, flights or primaries)", dataName)
 	}
 	return rel, engine.DefaultConfig(rel), nil

@@ -143,6 +143,18 @@ func (h *HealthChecker) Swaps(node, dataset string) uint64 {
 	return e.Swaps
 }
 
+// RemoveDataset drops every replica entry of a dataset, so sweeps stop
+// probing it and its replicas report unhealthy with zero generation.
+func (h *HealthChecker) RemoveDataset(dataset string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for k := range h.entries {
+		if k.dataset == dataset {
+			delete(h.entries, k)
+		}
+	}
+}
+
 // MarkUnhealthy force-flags a replica down (the router does this on
 // forwarding failures so routing reacts faster than the next sweep).
 func (h *HealthChecker) MarkUnhealthy(node, dataset string, err error) {

@@ -149,8 +149,11 @@ type nodeState struct {
 // snapshot-replicated cluster. Create with New, start the health loop
 // with Run (or call CheckHealth yourself), and serve Handler.
 type Router struct {
-	nodes    []Node
-	byID     map[string]*nodeState
+	nodes []Node
+	byID  map[string]*nodeState
+	// dsMu guards datasets and hosted: handleAnswer reads them on every
+	// request, and RemoveDataset shrinks them at runtime.
+	dsMu     sync.RWMutex
 	datasets []string
 	hosted   map[string]bool
 	defName  string
@@ -247,6 +250,48 @@ func New(nodes []Node, datasets []string, opts Options) (*Router, error) {
 
 // Handler returns the router's route multiplexer.
 func (r *Router) Handler() http.Handler { return r.mux }
+
+// isHosted reports whether the router currently routes the dataset.
+func (r *Router) isHosted(dataset string) bool {
+	r.dsMu.RLock()
+	defer r.dsMu.RUnlock()
+	return r.hosted[dataset]
+}
+
+// datasetList copies the currently routed dataset names.
+func (r *Router) datasetList() []string {
+	r.dsMu.RLock()
+	defer r.dsMu.RUnlock()
+	return append([]string(nil), r.datasets...)
+}
+
+// RemoveDataset stops routing a dataset: requests for it 404, health
+// probing of its replicas stops, and every stale-cache answer captured
+// for it is purged — a removed dataset's last-good answers must not
+// outlive the dataset and resurface if the name is ever routed again.
+// It reports whether the dataset was routed.
+func (r *Router) RemoveDataset(name string) bool {
+	r.dsMu.Lock()
+	if !r.hosted[name] {
+		r.dsMu.Unlock()
+		return false
+	}
+	delete(r.hosted, name)
+	kept := r.datasets[:0]
+	for _, ds := range r.datasets {
+		if ds != name {
+			kept = append(kept, ds)
+		}
+	}
+	r.datasets = kept
+	r.dsMu.Unlock()
+
+	r.health.RemoveDataset(name)
+	if r.stale != nil {
+		r.stale.purgeDataset(name)
+	}
+	return true
+}
 
 // Ring exposes the router's placement ring (cmd/router prints it).
 func (r *Router) Ring() *Ring { return r.ring }
@@ -452,7 +497,7 @@ func (r *Router) handleAnswer(w http.ResponseWriter, req *http.Request) {
 	if dataset == "" {
 		dataset = r.defName
 	}
-	if !r.hosted[dataset] {
+	if !r.isHosted(dataset) {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown dataset %q", dataset)})
 		return
 	}
@@ -496,6 +541,7 @@ func (r *Router) handleAnswer(w http.ResponseWriter, req *http.Request) {
 		if r.stale != nil && staleKey != "" && reply.status == http.StatusOK {
 			r.stale.put(staleEntry{
 				key:        staleKey,
+				dataset:    dataset,
 				body:       reply.body,
 				node:       reply.node,
 				generation: r.health.Swaps(reply.node, dataset),
@@ -518,6 +564,25 @@ func (r *Router) handleAnswer(w http.ResponseWriter, req *http.Request) {
 	// an explicit marker beats an error while the cluster heals.
 	if r.stale != nil && staleKey != "" {
 		if e, ok := r.stale.get(staleKey); ok {
+			// The entry is only servable if its generation still matches
+			// the answering replica's last observed store generation. A
+			// mismatch means the store moved on after capture — a delta
+			// published a newer generation, or the node rebooted onto a
+			// fresh base and its swap counter reset — and "last known
+			// good" would actually be "superseded": drop it and fail
+			// honestly rather than serve an answer the cluster already
+			// replaced.
+			if e.generation != r.health.Swaps(e.node, dataset) {
+				r.stale.remove(staleKey)
+				ok = false
+			}
+			if !ok {
+				r.failed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusServiceUnavailable,
+					errorBody{Error: fmt.Sprintf("every replica of %q is unavailable and the cached answer is superseded: %v", dataset, err)})
+				return
+			}
 			r.staleServed.Add(1)
 			age := r.clock.Now().Sub(e.storedAt)
 			w.Header().Set("Content-Type", "application/json")
@@ -602,9 +667,10 @@ func (r *Router) HealthSnapshot() HealthResponse {
 	for _, rep := range r.health.Snapshot() {
 		byNode[rep.Node] = append(byNode[rep.Node], rep)
 	}
+	datasets := r.datasetList()
 	resp := HealthResponse{
 		Status:   "ok",
-		Datasets: make(map[string]DatasetHealth, len(r.datasets)),
+		Datasets: make(map[string]DatasetHealth, len(datasets)),
 		UptimeNS: time.Since(r.started),
 	}
 	for _, n := range r.nodes {
@@ -622,7 +688,7 @@ func (r *Router) HealthSnapshot() HealthResponse {
 		}
 		resp.Nodes = append(resp.Nodes, nh)
 	}
-	for _, ds := range r.datasets {
+	for _, ds := range datasets {
 		dh := DatasetHealth{Replication: r.ring.ReplicationFactor(), Nodes: r.ring.Replicas(ds)}
 		for _, n := range dh.Nodes {
 			if r.health.Healthy(n, ds) {
@@ -724,7 +790,7 @@ func (r *Router) handleDatasets(w http.ResponseWriter, req *http.Request) {
 	out := struct {
 		Datasets []RoutedDataset `json:"datasets"`
 	}{}
-	for _, ds := range r.datasets {
+	for _, ds := range r.datasetList() {
 		out.Datasets = append(out.Datasets, RoutedDataset{
 			Name:     ds,
 			Default:  ds == r.defName,

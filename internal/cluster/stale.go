@@ -8,12 +8,19 @@ import (
 
 // staleEntry is one remembered good answer: the raw response body of
 // the last successful forward for a (dataset, canonical text) key,
-// tagged with the node that answered and the generation (store swap
-// count) its store was at. The router serves it — explicitly marked
-// stale — when every replica of the dataset is down, trading
-// freshness for availability instead of failing.
+// tagged with the dataset it belongs to, the node that answered, and
+// the generation (store swap count) its store was at. The router
+// serves it — explicitly marked stale — when every replica of the
+// dataset is down, trading freshness for availability instead of
+// failing. The dataset and generation tags exist so the entry can be
+// invalidated when the world moves on without the key being written
+// again: dataset removal purges by dataset, and a generation that no
+// longer matches the replica's current store (a delta published after
+// capture, or a node rebooted onto a fresh base) rejects the entry at
+// read time.
 type staleEntry struct {
 	key        string
+	dataset    string
 	body       []byte
 	node       string
 	generation uint64
@@ -63,6 +70,38 @@ func (c *staleCache) get(key string) (staleEntry, bool) {
 	}
 	c.ll.MoveToFront(el)
 	return el.Value.(staleEntry), true
+}
+
+// remove drops one entry; used when a read finds the entry invalid
+// (generation mismatch), so the dead answer does not linger at the
+// front of the LRU.
+func (c *staleCache) remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.Remove(el)
+		delete(c.byKey, key)
+	}
+}
+
+// purgeDataset drops every entry captured for the dataset. Without
+// this, removing a dataset from the router and later re-adding the
+// name would resurrect answers from the old data.
+func (c *staleCache) purgeDataset(dataset string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	purged := 0
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(staleEntry)
+		if e.dataset == dataset {
+			c.ll.Remove(el)
+			delete(c.byKey, e.key)
+			purged++
+		}
+	}
+	return purged
 }
 
 func (c *staleCache) len() int {

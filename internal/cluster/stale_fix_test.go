@@ -1,0 +1,130 @@
+package cluster
+
+// Regression tests for stale-cache lifecycle bugs: a last-good answer
+// must die with its dataset (RemoveDataset purge) and must not be
+// served once the replica's store generation moved past the one it was
+// captured at (delta publishes, node reboots).
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestRouterRejectsSupersededStaleAnswer pins the generation check on
+// the stale read path: an answer captured at store generation G must
+// not be served as "last known good" after the replicas published
+// generation G+1 — the cluster already replaced that answer, and a
+// reboot onto a fresh base (swap counter reset) is the same situation
+// with a smaller number.
+func TestRouterRejectsSupersededStaleAnswer(t *testing.T) {
+	nodes := []*fakeNode{newFakeNode(t, "a"), newFakeNode(t, "b")}
+	nodes[0].swaps.Store(3)
+	nodes[1].swaps.Store(3)
+	r, inj, _ := newTestRouter(t, nodes, []string{"flights"}, Options{})
+
+	const text = "cancellation probability please"
+	if w := postAnswer(t, r.Handler(), "flights", text); w.Code != http.StatusOK {
+		t.Fatalf("warm-up failed: %d", w.Code)
+	}
+	if r.Stats().StaleSize != 1 {
+		t.Fatalf("stale entries = %d, want 1", r.Stats().StaleSize)
+	}
+
+	// A delta publish bumps both replicas' store generation; the health
+	// sweep observes it. The cached answer is now superseded.
+	nodes[0].swaps.Store(4)
+	nodes[1].swaps.Store(4)
+	r.CheckHealth(context.Background())
+
+	inj.Set(nodes[0].host(), FaultRule{DropProb: 1})
+	inj.Set(nodes[1].host(), FaultRule{DropProb: 1})
+
+	w := postAnswer(t, r.Handler(), "flights", text)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("superseded stale answer served: status %d body %s", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), "superseded") {
+		t.Fatalf("503 body does not explain the superseded cache entry: %s", w.Body.String())
+	}
+	if got := r.Stats().StaleServed; got != 0 {
+		t.Fatalf("stale_served = %d, want 0", got)
+	}
+	// The dead entry was evicted, not left at the front of the LRU.
+	if got := r.Stats().StaleSize; got != 0 {
+		t.Fatalf("stale entries after rejection = %d, want 0", got)
+	}
+}
+
+// TestRouterStaleServedWhileGenerationCurrent is the positive control:
+// with no publish between capture and outage, the generation matches
+// and the stale answer is served as before.
+func TestRouterStaleServedWhileGenerationCurrent(t *testing.T) {
+	nodes := []*fakeNode{newFakeNode(t, "a"), newFakeNode(t, "b")}
+	nodes[0].swaps.Store(7)
+	nodes[1].swaps.Store(7)
+	r, inj, _ := newTestRouter(t, nodes, []string{"flights"}, Options{})
+
+	const text = "cancellations in winter"
+	if w := postAnswer(t, r.Handler(), "flights", text); w.Code != http.StatusOK {
+		t.Fatalf("warm-up failed: %d", w.Code)
+	}
+	inj.Set(nodes[0].host(), FaultRule{DropProb: 1})
+	inj.Set(nodes[1].host(), FaultRule{DropProb: 1})
+
+	w := postAnswer(t, r.Handler(), "flights", text)
+	if w.Code != http.StatusOK || w.Header().Get("X-Cicero-Stale") != "true" {
+		t.Fatalf("current-generation stale answer not served: %d stale=%q",
+			w.Code, w.Header().Get("X-Cicero-Stale"))
+	}
+}
+
+// TestRouterRemoveDatasetPurgesState pins dataset teardown: requests
+// 404, probes stop, and — the bug this sweep fixes — the dataset's
+// stale answers are purged so a later dataset under the same name can
+// never resurrect them.
+func TestRouterRemoveDatasetPurgesState(t *testing.T) {
+	nodes := []*fakeNode{newFakeNode(t, "a"), newFakeNode(t, "b")}
+	r, inj, _ := newTestRouter(t, nodes, []string{"flights", "acs"}, Options{})
+
+	if w := postAnswer(t, r.Handler(), "flights", "cancellations"); w.Code != http.StatusOK {
+		t.Fatalf("flights warm-up failed: %d", w.Code)
+	}
+	if w := postAnswer(t, r.Handler(), "acs", "hearing impairment"); w.Code != http.StatusOK {
+		t.Fatalf("acs warm-up failed: %d", w.Code)
+	}
+	if r.Stats().StaleSize != 2 {
+		t.Fatalf("stale entries = %d, want 2", r.Stats().StaleSize)
+	}
+
+	if !r.RemoveDataset("acs") {
+		t.Fatal("RemoveDataset(acs) = false, want true")
+	}
+	if r.RemoveDataset("acs") {
+		t.Fatal("second RemoveDataset(acs) = true, want false")
+	}
+
+	if w := postAnswer(t, r.Handler(), "acs", "hearing impairment"); w.Code != http.StatusNotFound {
+		t.Fatalf("removed dataset answered: %d", w.Code)
+	}
+	if got := r.Stats().StaleSize; got != 1 {
+		t.Fatalf("stale entries after removal = %d, want 1 (flights only)", got)
+	}
+	for _, n := range nodes {
+		if r.Health().Healthy(n.id, "acs") {
+			t.Fatalf("removed dataset still probed healthy on %s", n.id)
+		}
+	}
+	if h := r.HealthSnapshot(); h.Datasets["acs"].Replication != 0 {
+		t.Fatalf("healthz still reports the removed dataset: %+v", h.Datasets)
+	}
+
+	// The surviving dataset still serves, including its stale fallback.
+	inj.Set(nodes[0].host(), FaultRule{DropProb: 1})
+	inj.Set(nodes[1].host(), FaultRule{DropProb: 1})
+	if w := postAnswer(t, r.Handler(), "flights", "cancellations"); w.Code != http.StatusOK ||
+		w.Header().Get("X-Cicero-Stale") != "true" {
+		t.Fatalf("surviving dataset's stale fallback broken: %d", w.Code)
+	}
+}

@@ -1,0 +1,82 @@
+package delta
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"cicero/internal/dataset"
+	"cicero/internal/engine"
+	"cicero/internal/pipeline"
+	"cicero/internal/snapshot"
+)
+
+// TestReplayReconstructsPatchedStore is the cold-start contract: write
+// the patch artifact, read it back, replay it over the base — the
+// result must be bit-identical to both the original incremental apply
+// and the full-rebuild oracle, without solving a single problem.
+func TestReplayReconstructsPatchedStore(t *testing.T) {
+	ctx := context.Background()
+	rel := dataset.ACS(500, 11)
+	cfg := acsConfig(rel, engine.PriorZero)
+	base, _, err := pipeline.Run(ctx, rel, cfg, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := Synthesize(rel, 5, 13)
+	tab := FromRelation(rel)
+	images, err := tab.Apply(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := tab.Rel()
+	res, err := Apply(ctx, base, rel, next, cfg, testOpts, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	baseFP := pipeline.Fingerprint(1, cfg, "G-O")
+	fp := pipeline.FingerprintDelta(1, cfg, "G-O", b.Tag())
+	path := filepath.Join(t.TempDir(), "acs.patch")
+	if err := snapshot.WritePatchFile(path, NewPatch(baseFP, fp, b, res)); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := snapshot.ReadPatchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BaseFingerprint != baseFP || p.Fingerprint != fp || p.DeltaTag != b.Tag() {
+		t.Fatalf("patch provenance did not round-trip: %+v", p)
+	}
+	if BatchOfPatch(p).Tag() != b.Tag() {
+		t.Fatal("journal round trip changed the batch tag")
+	}
+
+	replayed, replayedRel, err := Replay(base, rel, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayedRel.NumRows() != next.NumRows() {
+		t.Fatalf("replayed relation has %d rows, want %d", replayedRel.NumRows(), next.NumRows())
+	}
+	storesIdentical(t, replayed, res.Store)
+
+	oracle, _, err := pipeline.Run(ctx, next, cfg, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storesIdentical(t, replayed, oracle)
+}
+
+// TestReplayRefusesWrongDataset pins the journal/table identity check.
+func TestReplayRefusesWrongDataset(t *testing.T) {
+	rel := dataset.ACS(50, 1)
+	store := engine.NewStore()
+	store.Freeze()
+	_, _, err := Replay(store, rel, &snapshot.Patch{Dataset: "flights"})
+	if err == nil {
+		t.Fatal("replaying a flights patch onto acs must fail")
+	}
+}

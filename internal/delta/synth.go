@@ -1,0 +1,62 @@
+package delta
+
+import (
+	"math/rand"
+
+	"cicero/internal/relation"
+)
+
+// Synthesize builds a deterministic synthetic delta batch against a
+// relation: n update ops that nudge the first target column of rows
+// clustered around a seeded anchor row. Clustering matters — real
+// correction workloads touch one region of the dimension space (one
+// borough, one airline), so the dirty set stays a small fraction of the
+// problem space; n rows sampled uniformly would dirty nearly every
+// query subset and make the delta path look uselessly pessimistic.
+//
+// The ops change only target values, never dimension values, and never
+// insert or delete, so dictionaries cannot drift and the per-target
+// dirty refinement applies: the resulting dirty set is the queries
+// matching the anchor's leading dimension values, for target 0 only.
+func Synthesize(rel *relation.Relation, n int, seed int64) Batch {
+	if rel.NumRows() == 0 || rel.NumTargets() == 0 || n <= 0 {
+		return Batch{Dataset: rel.Name()}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	anchor := rng.Intn(rel.NumRows())
+
+	// Cluster: rows sharing the anchor's values on the leading
+	// dimensions (all but the last), relaxing one dimension at a time
+	// from the right if the cluster is too small to carry n ops.
+	var cluster []int
+	for fixed := rel.NumDims() - 1; fixed >= 0; fixed-- {
+		cluster = cluster[:0]
+		for row := 0; row < rel.NumRows(); row++ {
+			match := true
+			for d := 0; d < fixed; d++ {
+				if rel.Dim(d).CodeAt(row) != rel.Dim(d).CodeAt(anchor) {
+					match = false
+					break
+				}
+			}
+			if match {
+				cluster = append(cluster, row)
+			}
+		}
+		if len(cluster) >= n || fixed == 0 {
+			break
+		}
+	}
+
+	b := Batch{Dataset: rel.Name(), Ops: make([]Op, 0, n)}
+	for i := 0; i < n; i++ {
+		row := cluster[rng.Intn(len(cluster))]
+		targets := make([]float64, rel.NumTargets())
+		for ti := range targets {
+			targets[ti] = rel.Target(ti).At(row)
+		}
+		targets[0] += 0.1 + 0.05*rng.Float64()
+		b.Ops = append(b.Ops, Op{Kind: Update, Row: row, Targets: targets})
+	}
+	return b
+}

@@ -62,6 +62,55 @@ func Problems(rel *relation.Relation, cfg Config) ([]Problem, error) {
 // and is returned, except for ErrStopEnumeration which stops it and
 // returns nil.
 func EachProblem(rel *relation.Relation, cfg Config, fn func(Problem) error) error {
+	return EachProblemLazy(rel, cfg, func(lp LazyProblem) error {
+		return fn(lp.Materialize())
+	})
+}
+
+// LazyProblem is one enumerated problem before its data subset is
+// materialized: the query, the subset's row count, and a Materialize
+// hook that runs the deferred selection scan. Enumeration itself costs
+// one grouped counting pass per query shape; each Materialize costs the
+// O(rows) selection EachProblem pays per problem. The incremental path
+// (internal/delta) walks the whole problem space this way and
+// materializes only the dirty sliver it re-solves.
+type LazyProblem struct {
+	Query Query
+	// Rows is the subset row count, equal to Materialize().View.NumRows().
+	Rows int
+
+	full       *relation.View
+	preds      []relation.Predicate
+	target     int
+	freeDims   []int
+	prior      fact.Prior
+	subsetMean bool
+}
+
+// Materialize selects the problem's data subset and completes the
+// Problem exactly as EachProblem would have built it.
+func (lp *LazyProblem) Materialize() Problem {
+	view := lp.full.Select(lp.preds)
+	prior := lp.prior
+	if lp.subsetMean {
+		prior = fact.MeanPrior(view, lp.target)
+	}
+	return Problem{
+		Query:    lp.Query,
+		View:     view,
+		Target:   lp.target,
+		FreeDims: lp.freeDims,
+		Prior:    prior,
+	}
+}
+
+// EachProblemLazy streams the same problems as EachProblem, in the same
+// order, without materializing their views: subset row counts come from
+// one group-by pass per query shape, so consumers that skip most
+// problems (internal/delta retains clean speeches by key alone) avoid
+// the per-problem selection scans entirely. The error contract matches
+// EachProblem.
+func EachProblemLazy(rel *relation.Relation, cfg Config, fn func(LazyProblem) error) error {
 	if err := cfg.Validate(rel); err != nil {
 		return err
 	}
@@ -95,7 +144,13 @@ func EachProblem(rel *relation.Relation, cfg Config, fn func(Problem) error) err
 					free = append(free, d)
 				}
 			}
-			for _, combo := range full.DistinctCombinations(querySet) {
+			// One counting pass covers every combination of this query
+			// shape; GroupBy's order is DistinctCombinations's order.
+			for _, g := range full.GroupBy(querySet, -1) {
+				if g.Count < cfg.MinSubsetRows {
+					continue
+				}
+				combo := g.Key.Codes
 				preds := make([]relation.Predicate, len(querySet))
 				named := make([]NamedPredicate, len(querySet))
 				for i, d := range querySet {
@@ -105,20 +160,15 @@ func EachProblem(rel *relation.Relation, cfg Config, fn func(Problem) error) err
 						Value:  rel.Dim(d).Value(combo[i]),
 					}
 				}
-				view := full.Select(preds)
-				if view.NumRows() == 0 || view.NumRows() < cfg.MinSubsetRows {
-					continue
-				}
-				p := prior
-				if cfg.Prior == PriorSubsetMean {
-					p = fact.MeanPrior(view, ti)
-				}
-				err := fn(Problem{
-					Query:    Query{Target: target, Predicates: named},
-					View:     view,
-					Target:   ti,
-					FreeDims: free,
-					Prior:    p,
+				err := fn(LazyProblem{
+					Query:      Query{Target: target, Predicates: named},
+					Rows:       g.Count,
+					full:       full,
+					preds:      preds,
+					target:     ti,
+					freeDims:   free,
+					prior:      prior,
+					subsetMean: cfg.Prior == PriorSubsetMean,
 				})
 				if errors.Is(err, ErrStopEnumeration) {
 					return nil

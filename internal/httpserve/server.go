@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"cicero/internal/engine"
+	"cicero/internal/relation"
 	"cicero/internal/serve"
 	"cicero/internal/voice"
 )
@@ -56,6 +57,28 @@ type Backend interface {
 	// Store returns the live speech store; its identity defines the
 	// cache and singleflight generation.
 	Store() engine.StoreView
+}
+
+// generationBackend is the optional Backend extension a swap-generation
+// counter rides in on (*serve.Answerer implements it). Store identity
+// alone cannot order swaps: when a view is re-installed — a rollback,
+// or a delta publish that reuses the base store — the pointer repeats,
+// and a cache fill racing two swaps could tag an answer computed
+// against the intermediate store with the re-installed one (an ABA).
+// The generation is unique per publish, so "unchanged across the
+// kernel call" proves the answer was computed against the tagged store.
+type generationBackend interface {
+	StoreGen() (engine.StoreView, uint64)
+}
+
+// storeGen loads the backend's live store, with its swap generation
+// when the backend exposes one (tracked == true).
+func storeGen(b Backend) (store engine.StoreView, gen uint64, tracked bool) {
+	if gb, ok := b.(generationBackend); ok {
+		store, gen = gb.StoreGen()
+		return store, gen, true
+	}
+	return b.Store(), 0, false
 }
 
 // DefaultDataset is the dataset name a single-tenant server mounts its
@@ -333,7 +356,7 @@ func (s *Server) AnswerDataset(ctx context.Context, dataset, text string) (Resul
 		return Result{}, err
 	}
 	key := tenantKey(dataset, text)
-	store := b.Store()
+	store, gen, tracked := storeGen(b)
 	if s.cache != nil {
 		if ans, ok := s.cache.get(key, store); ok {
 			ans.Latency = time.Since(start)
@@ -353,7 +376,22 @@ func (s *Server) AnswerDataset(ctx context.Context, dataset, text string) (Resul
 		defer func() { <-s.sem }()
 		ans := b.Answer(text)
 		if s.cache != nil {
-			s.cache.put(key, dataset, store, ans)
+			// Fill only when no swap landed during the kernel call. The
+			// backend loads its store inside Answer, after our capture: a
+			// swap in between means ans may have been computed against a
+			// store other than the one captured above, and tagging it with
+			// the captured identity would let a later re-install of that
+			// view (same pointer, new generation) serve the mismatched
+			// answer as current. Store identity cannot detect this — the
+			// generation can: it is unique per publish, so an unchanged
+			// generation proves the live store never moved. Backends
+			// without a generation (test fakes) keep the old best-effort
+			// fill; their stores are never re-installed.
+			if !tracked {
+				s.cache.put(key, dataset, store, ans)
+			} else if _, now, _ := storeGen(b); now == gen {
+				s.cache.put(key, dataset, store, ans)
+			}
 		}
 		return ans, nil
 	})
@@ -413,6 +451,24 @@ func (s *Server) SwapStoreFor(ctx context.Context, dataset string, next engine.S
 		panic("httpserve: SwapStoreFor requires a registry server (NewMulti)")
 	}
 	old, err := s.registry.SwapStore(ctx, dataset, next)
+	if err != nil {
+		return nil, err
+	}
+	s.afterSwap(dataset)
+	return old, nil
+}
+
+// SwapDataFor publishes a post-delta generation — the patched store
+// plus the relation the rows now look like — for one named dataset,
+// purging exactly that dataset's cache entries. This is the HTTP-tier
+// seam the incremental ingestion path (internal/delta) publishes
+// through; it has the same zero-downtime semantics as SwapStoreFor.
+// Requires a registry server (NewMulti).
+func (s *Server) SwapDataFor(ctx context.Context, dataset string, rel *relation.Relation, next engine.StoreView) (engine.StoreView, error) {
+	if s.registry == nil {
+		panic("httpserve: SwapDataFor requires a registry server (NewMulti)")
+	}
+	old, err := s.registry.SwapData(ctx, dataset, rel, next)
 	if err != nil {
 		return nil, err
 	}

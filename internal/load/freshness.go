@@ -1,0 +1,235 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cicero/internal/delta"
+	"cicero/internal/engine"
+	"cicero/internal/httpserve"
+	"cicero/internal/pipeline"
+	"cicero/internal/relation"
+	"cicero/internal/serve"
+	"cicero/internal/stats"
+)
+
+// FreshnessOptions configures a freshness workload: repeated delta
+// publishes against a live server under concurrent reader traffic.
+type FreshnessOptions struct {
+	// Rounds is the number of delta publish rounds (default 8).
+	Rounds int
+	// Ops is the number of synthetic row ops per round (default 1% of
+	// the rows, at least 1).
+	Ops int
+	// Seed makes the synthetic deltas deterministic.
+	Seed int64
+	// Texts are the voice queries readers replay and the publisher
+	// verifies with; required (use Generate).
+	Texts []string
+	// Readers is the number of concurrent reader goroutines hammering
+	// the server throughout the run (default 2).
+	Readers int
+	// ChecksPerRound is the number of post-publish verification
+	// queries per round (default 4).
+	ChecksPerRound int
+}
+
+func (o FreshnessOptions) withDefaults(rows int) FreshnessOptions {
+	if o.Rounds <= 0 {
+		o.Rounds = 8
+	}
+	if o.Ops <= 0 {
+		o.Ops = rows / 100
+		if o.Ops < 1 {
+			o.Ops = 1
+		}
+	}
+	if o.Readers <= 0 {
+		o.Readers = 2
+	}
+	if o.ChecksPerRound <= 0 {
+		o.ChecksPerRound = 4
+	}
+	return o
+}
+
+// FreshnessResult is the outcome of a freshness run, JSON-shaped for a
+// BENCH artifact.
+type FreshnessResult struct {
+	Benchmark   string `json:"benchmark"` // "freshness"
+	Dataset     string `json:"dataset"`
+	Rounds      int    `json:"rounds"`
+	OpsPerRound int    `json:"ops_per_round"`
+
+	// TotalProblems is the problem-space size; Dirty/Solved/Retained
+	// accumulate over all rounds.
+	TotalProblems int `json:"total_problems"`
+	Dirty         int `json:"dirty_problems"`
+	Solved        int `json:"solved"`
+	Retained      int `json:"retained"`
+
+	// Checks counts post-publish verification queries; StaleAnswers
+	// counts those whose served answer did not match the live store —
+	// any non-zero value is a staleness bug.
+	Checks       int `json:"checks"`
+	StaleAnswers int `json:"stale_answers"`
+
+	// ReaderAnswers/ReaderErrors count the concurrent reader traffic.
+	ReaderAnswers int64 `json:"reader_answers"`
+	ReaderErrors  int64 `json:"reader_errors"`
+
+	// Publish is the latency of one full publish: incremental re-solve
+	// plus the store swap.
+	Publish    LatencyReport `json:"publish_latency"`
+	DurationNS time.Duration `json:"duration_ns"`
+}
+
+// RunFreshness drives the incremental-ingestion loop end to end
+// against a live multi-dataset server: each round synthesizes a row
+// delta, re-solves only the dirty problems (delta.Apply), publishes
+// the patched generation through the zero-downtime swap, and then
+// verifies — under concurrent reader traffic — that the served answers
+// reflect the generation just published. a must be the dataset's
+// registered answerer (the publisher's oracle: its post-swap Answer is
+// by construction computed on the live store, so any divergence in the
+// server's reply is a stale cache or swap bug, which this workload
+// exists to catch).
+func RunFreshness(ctx context.Context, srv *httpserve.Server, dataset string, a *serve.Answerer, rel *relation.Relation, cfg engine.Config, popts pipeline.Options, base engine.StoreView, opts FreshnessOptions) (FreshnessResult, error) {
+	opts = opts.withDefaults(rel.NumRows())
+	if len(opts.Texts) == 0 {
+		return FreshnessResult{}, fmt.Errorf("load: freshness run needs texts")
+	}
+	res := FreshnessResult{
+		Benchmark:   "freshness",
+		Dataset:     dataset,
+		Rounds:      opts.Rounds,
+		OpsPerRound: opts.Ops,
+	}
+
+	rctx, stopReaders := context.WithCancel(ctx)
+	defer stopReaders()
+	var wg sync.WaitGroup
+	var answers, errors atomic.Int64
+	for r := 0; r < opts.Readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; rctx.Err() == nil; i++ {
+				if _, err := srv.AnswerDataset(rctx, dataset, opts.Texts[(r+i)%len(opts.Texts)]); err != nil {
+					if rctx.Err() == nil {
+						errors.Add(1)
+					}
+				} else {
+					answers.Add(1)
+				}
+			}
+		}(r)
+	}
+
+	cur, curStore := rel, base
+	var publishLats []time.Duration
+	start := time.Now()
+	for round := 0; round < opts.Rounds; round++ {
+		b := delta.Synthesize(cur, opts.Ops, opts.Seed+int64(round)*101)
+		tab := delta.FromRelation(cur)
+		images, err := tab.Apply(b)
+		if err != nil {
+			stopReaders()
+			wg.Wait()
+			return res, fmt.Errorf("load: round %d: %w", round, err)
+		}
+		next := tab.Rel()
+
+		pubStart := time.Now()
+		applied, err := delta.Apply(ctx, curStore, cur, next, cfg, popts, images)
+		if err != nil {
+			stopReaders()
+			wg.Wait()
+			return res, fmt.Errorf("load: round %d: %w", round, err)
+		}
+		if _, err := srv.SwapDataFor(ctx, dataset, next, applied.Store); err != nil {
+			stopReaders()
+			wg.Wait()
+			return res, fmt.Errorf("load: round %d publish: %w", round, err)
+		}
+		publishLats = append(publishLats, time.Since(pubStart))
+
+		res.TotalProblems = applied.TotalProblems
+		res.Dirty += applied.DirtyProblems
+		res.Solved += applied.Solved
+		res.Retained += applied.Retained
+
+		// Post-publish verification: the publisher is the only swapper,
+		// so the oracle's direct answer is computed on the store just
+		// installed; the server must agree.
+		for c := 0; c < opts.ChecksPerRound; c++ {
+			text := opts.Texts[(round*opts.ChecksPerRound+c)%len(opts.Texts)]
+			got, err := srv.AnswerDataset(ctx, dataset, text)
+			if err != nil {
+				stopReaders()
+				wg.Wait()
+				return res, fmt.Errorf("load: round %d check: %w", round, err)
+			}
+			res.Checks++
+			if want := a.Answer(text); got.Text != want.Text {
+				res.StaleAnswers++
+			}
+		}
+		cur, curStore = next, applied.Store
+	}
+	res.DurationNS = time.Since(start)
+	stopReaders()
+	wg.Wait()
+	res.ReaderAnswers = answers.Load()
+	res.ReaderErrors = errors.Load()
+
+	if len(publishLats) > 0 {
+		sort.Slice(publishLats, func(i, j int) bool { return publishLats[i] < publishLats[j] })
+		var sum time.Duration
+		for _, l := range publishLats {
+			sum += l
+		}
+		res.Publish = LatencyReport{
+			P50:  stats.PercentileDuration(publishLats, 0.50),
+			P95:  stats.PercentileDuration(publishLats, 0.95),
+			P99:  stats.PercentileDuration(publishLats, 0.99),
+			Mean: sum / time.Duration(len(publishLats)),
+			Max:  publishLats[len(publishLats)-1],
+		}
+	}
+	return res, nil
+}
+
+// Summary renders a one-line human report.
+func (r FreshnessResult) Summary() string {
+	return fmt.Sprintf("freshness %s: %d rounds × %d ops, %d/%d problems re-solved, %d retained, %d checks (%d stale), %d reader answers (%d errors), publish p50 %v max %v",
+		r.Dataset, r.Rounds, r.OpsPerRound, r.Solved, r.TotalProblems*r.Rounds, r.Retained,
+		r.Checks, r.StaleAnswers, r.ReaderAnswers, r.ReaderErrors, r.Publish.P50, r.Publish.Max)
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r FreshnessResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the result to path (a BENCH-style artifact).
+func (r FreshnessResult) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,107 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cicero/internal/dataset"
+	"cicero/internal/engine"
+	"cicero/internal/httpserve"
+	"cicero/internal/pipeline"
+	"cicero/internal/serve"
+	"cicero/internal/voice"
+)
+
+// TestRunFreshness drives the full incremental-ingestion loop — delta
+// synthesis, dirty re-solve, zero-downtime publish, post-publish
+// verification under reader traffic — against a live in-process
+// server. Any stale post-publish answer fails the run.
+func TestRunFreshness(t *testing.T) {
+	rel := dataset.Flights(1500, 1)
+	cfg := engine.DefaultConfig(rel)
+	cfg.Targets = []string{"cancelled"}
+	cfg.Dimensions = []string{"season", "airline"}
+	cfg.MaxQueryLen = 1
+	cfg.Prior = engine.PriorZero
+	popts := pipeline.Options{
+		Solver:   "G-O",
+		Template: engine.Template{TargetPhrase: "cancellation probability", Percent: true},
+	}
+	ctx := context.Background()
+	base, _, err := pipeline.Run(ctx, rel, cfg, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ex := voice.NewExtractor(rel, voice.DefaultSamples("flights"), 2)
+	a := serve.New(rel, base, ex, serve.Options{})
+	reg := serve.NewRegistry()
+	if err := reg.Add("flights", a); err != nil {
+		t.Fatal(err)
+	}
+	srv := httpserve.NewMulti(reg, "flights", httpserve.Options{CacheEntries: 128})
+
+	texts := Generate(rel, Options{
+		Requests: 60, Distinct: 12, Seed: 3,
+		Mix:           Mix{Summary: 1},
+		TargetPhrases: voice.SpokenTargetPhrases(voice.DefaultSamples("flights")),
+	})
+	res, err := RunFreshness(ctx, srv, "flights", a, rel, cfg, popts, base, FreshnessOptions{
+		Rounds: 4, Ops: 8, Seed: 11, Texts: texts, Readers: 2, ChecksPerRound: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.StaleAnswers != 0 {
+		t.Fatalf("%d stale post-publish answers of %d checks:\n%s", res.StaleAnswers, res.Checks, res.Summary())
+	}
+	if res.Checks != 4*5 {
+		t.Fatalf("checks = %d, want 20", res.Checks)
+	}
+	if got := srv.Stats().Store.Swaps; got != 4 {
+		t.Fatalf("published %d generations, want 4", got)
+	}
+	if res.Retained == 0 {
+		t.Fatal("no speeches retained: the incremental path degraded to full rebuilds")
+	}
+	if res.Solved >= res.TotalProblems*res.Rounds {
+		t.Fatalf("solved %d problems over %d rounds of a %d-problem space: no incrementality",
+			res.Solved, res.Rounds, res.TotalProblems)
+	}
+	if res.ReaderAnswers == 0 {
+		t.Fatal("reader traffic never overlapped the publish loop")
+	}
+	if res.ReaderErrors != 0 {
+		t.Fatalf("%d reader errors", res.ReaderErrors)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_freshness.json")
+	if err := res.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FreshnessResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if back.Benchmark != "freshness" || back.Rounds != 4 {
+		t.Fatalf("artifact round trip lost fields: %+v", back)
+	}
+}
+
+// TestRunFreshnessNeedsTexts: a freshness run without a workload would
+// verify nothing, so it must be refused, not silently pass.
+func TestRunFreshnessNeedsTexts(t *testing.T) {
+	rel := dataset.Flights(200, 1)
+	if _, err := RunFreshness(context.Background(), nil, "flights", nil, rel,
+		engine.DefaultConfig(rel), pipeline.Options{}, nil, FreshnessOptions{}); err == nil {
+		t.Fatal("RunFreshness without texts did not error")
+	}
+}

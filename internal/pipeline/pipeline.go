@@ -77,6 +77,14 @@ type Options struct {
 	// that shaped it (see Fingerprint); a daemon refuses to cold-start
 	// from a snapshot whose tag differs from its own flags.
 	SnapshotFingerprint string
+	// Delta records the row-delta provenance of this run: empty for a
+	// run over the pristine dataset, otherwise the delta batch's tag
+	// (delta.Batch.Tag). It is part of the checkpoint identity, so a
+	// checkpoint written against deltaed rows can never be resumed —
+	// and silently merged — under different delta settings, and vice
+	// versa. It does not change what is solved; it names what the rows
+	// were when it was solved.
+	Delta string
 }
 
 // Fingerprint renders the canonical build-provenance tag for a
@@ -98,6 +106,20 @@ func Fingerprint(dataSeed int64, cfg engine.Config, solverName string) string {
 		dataSeed, cfg.MaxQueryLen, cfg.MaxFacts, cfg.MaxFactDims, cfg.MinSubsetRows, cfg.Prior,
 		strings.Join(cfg.Targets, ","), strings.Join(cfg.Dimensions, ","),
 		strings.Join(cfg.FactDimensions, ","), solverName)
+}
+
+// FingerprintDelta renders the build-provenance tag for a store
+// pre-processed over deltaed rows: the base Fingerprint plus the delta
+// batch's tag. An empty delta yields exactly Fingerprint, so artifacts
+// written before the delta path existed stay valid; any non-empty
+// delta makes the tag — and therefore snapshot/boot validation —
+// distinguish a patched store from the pristine build.
+func FingerprintDelta(dataSeed int64, cfg engine.Config, solverName, delta string) string {
+	fp := Fingerprint(dataSeed, cfg, solverName)
+	if delta != "" {
+		fp += " delta=" + delta
+	}
+	return fp
 }
 
 // Progress is one monotonic progress snapshot.
@@ -223,13 +245,13 @@ type result struct {
 // the store, the checkpoint, and the stats.
 func run(ctx context.Context, rel *relation.Relation, cfg engine.Config, source func(func(engine.Problem) error) error, total int, opts Options) (*engine.Store, Stats, error) {
 	start := time.Now()
-	solverName := opts.Solver
-	if solverName == "" {
-		solverName = string(engine.AlgGreedyOpt)
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
 	}
-	solver, ok := LookupSolver(solverName)
-	if !ok {
-		return nil, Stats{}, fmt.Errorf("pipeline: unknown solver %q (registered: %v)", solverName, Solvers())
+	solver, baseOpts, solverName, err := solverSetup(cfg, opts, workers)
+	if err != nil {
+		return nil, Stats{}, err
 	}
 	if opts.Checkpoint != nil {
 		// cfg is validated by the callers, so the column lists are fully
@@ -247,33 +269,15 @@ func run(ctx context.Context, rel *relation.Relation, cfg engine.Config, source 
 			Prior:          string(cfg.Prior),
 			MinSubsetRows:  cfg.MinSubsetRows,
 			Template:       fmt.Sprintf("%+v", opts.Template),
+			Delta:          opts.Delta,
 		})
 		if err != nil {
 			return nil, Stats{}, err
 		}
 	}
-	workers := opts.Workers
-	if workers < 1 {
-		workers = 1
-	}
 	buffer := opts.Buffer
 	if buffer <= 0 {
 		buffer = workers
-	}
-	baseOpts := opts.Solve
-	baseOpts.MaxFacts = cfg.MaxFacts
-	if baseOpts.Workers == 0 {
-		// Global worker budget: problem-level parallelism (solve workers)
-		// multiplied by subtree-level parallelism (the E-P kernel's
-		// search goroutines) should not oversubscribe the machine. When
-		// the caller doesn't pin the kernel width, divide the cores among
-		// the solve workers; an explicit opts.Solve.Workers (or a
-		// negative value, meaning "all cores") overrides the budget.
-		if kw := runtime.GOMAXPROCS(0) / workers; kw > 1 {
-			baseOpts.Workers = kw
-		} else {
-			baseOpts.Workers = 1
-		}
 	}
 
 	// Internal cancellation lets the sink abort the producer and workers
@@ -427,6 +431,98 @@ func run(ctx context.Context, rel *relation.Relation, cfg engine.Config, source 
 		}
 	}
 	return frozen, stats, nil
+}
+
+// solverSetup resolves the named solver and derives the per-problem
+// kernel options the way run hands them to every solve worker: the
+// configuration's fact budget overrides the caller's, and an unpinned
+// kernel width gets the global worker budget (cores divided by solve
+// workers). Factored out so the delta path's one-problem re-solves
+// (ProblemSolver) can never drift from the batch pipeline.
+func solverSetup(cfg engine.Config, opts Options, workers int) (Solver, summarize.Options, string, error) {
+	solverName := opts.Solver
+	if solverName == "" {
+		solverName = string(engine.AlgGreedyOpt)
+	}
+	solver, ok := LookupSolver(solverName)
+	if !ok {
+		return nil, summarize.Options{}, "", fmt.Errorf("pipeline: unknown solver %q (registered: %v)", solverName, Solvers())
+	}
+	baseOpts := opts.Solve
+	baseOpts.MaxFacts = cfg.MaxFacts
+	if baseOpts.Workers == 0 {
+		// Global worker budget: problem-level parallelism (solve workers)
+		// multiplied by subtree-level parallelism (the E-P kernel's
+		// search goroutines) should not oversubscribe the machine. When
+		// the caller doesn't pin the kernel width, divide the cores among
+		// the solve workers; an explicit opts.Solve.Workers (or a
+		// negative value, meaning "all cores") overrides the budget.
+		if kw := runtime.GOMAXPROCS(0) / workers; kw > 1 {
+			baseOpts.Workers = kw
+		} else {
+			baseOpts.Workers = 1
+		}
+	}
+	return solver, baseOpts, solverName, nil
+}
+
+// ProblemSolver re-solves individual problems with exactly the
+// semantics a full Run over the same Options would apply: the same
+// registered solver, the same derived kernel options, the same
+// deterministic per-problem seed, and the same template rendering. It
+// is the solving core of the incremental path (internal/delta), where
+// the bit-identical-to-rebuild guarantee rests on this equivalence.
+// Safe for concurrent use; each Solve acquires a pooled evaluator.
+type ProblemSolver struct {
+	rel      *relation.Relation
+	cfg      engine.Config
+	solver   Solver
+	baseOpts summarize.Options
+	opts     Options
+}
+
+// NewProblemSolver validates the configuration and binds the solver and
+// options for one-problem re-solves. Checkpoint and Progress hooks are
+// ignored: a ProblemSolver solves what it is handed.
+func NewProblemSolver(rel *relation.Relation, cfg engine.Config, opts Options) (*ProblemSolver, error) {
+	if err := cfg.Validate(rel); err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	solver, baseOpts, _, err := solverSetup(cfg, opts, workers)
+	if err != nil {
+		return nil, err
+	}
+	opts.Checkpoint = nil
+	opts.Progress = nil
+	return &ProblemSolver{rel: rel, cfg: cfg, solver: solver, baseOpts: baseOpts, opts: opts}, nil
+}
+
+// Solve runs evaluate → solve → render for one problem and returns the
+// stored speech a full pipeline run would have produced for it.
+func (ps *ProblemSolver) Solve(ctx context.Context, p engine.Problem) (*engine.StoredSpeech, error) {
+	res := solveOne(ctx, ps.rel, ps.cfg, ps.solver, ps.baseOpts, ps.opts, p)
+	if res.err != nil {
+		return nil, res.err
+	}
+	if res.summary.Stats.Cancelled {
+		// Mirror run's sink: an aborted partial summary must not be
+		// published as if it were the problem's answer.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, context.Canceled
+	}
+	return &engine.StoredSpeech{
+		Query:      res.problem.Query,
+		Facts:      res.summary.Facts,
+		Utility:    res.summary.Utility,
+		PriorError: res.summary.PriorError,
+		Text:       res.text,
+	}, nil
 }
 
 // solveOne runs stages 2–4 for one problem: evaluator build, solve,

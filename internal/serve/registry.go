@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"cicero/internal/engine"
+	"cicero/internal/relation"
 )
 
 // ErrUnknownDataset reports a dataset name no tenant is registered
@@ -308,6 +309,34 @@ func (r *Registry) SwapStore(ctx context.Context, name string, next engine.Store
 		t.loaded.Store(a)
 	}
 	old := a.SwapStore(next)
+	t.swaps.Add(1)
+	return old, nil
+}
+
+// SwapData publishes a post-delta generation — the new relation and its
+// re-summarized store — for one dataset, with the same load/eviction
+// semantics as SwapStore. This is the registry seam the incremental
+// ingestion path (internal/delta) publishes through.
+func (r *Registry) SwapData(ctx context.Context, name string, rel *relation.Relation, next engine.StoreView) (engine.StoreView, error) {
+	if rel == nil {
+		return nil, errors.New("serve: SwapData with nil relation")
+	}
+	a, err := r.Get(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	t, err := r.tenant(name)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur := t.loaded.Load(); cur != nil {
+		a = cur
+	} else {
+		t.loaded.Store(a)
+	}
+	old := a.SwapData(rel, next)
 	t.swaps.Add(1)
 	return old, nil
 }

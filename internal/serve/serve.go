@@ -111,8 +111,20 @@ type Options struct {
 // storeRef boxes the live StoreView so it can sit behind an
 // atomic.Pointer: the dynamic type may change across swaps (heap store
 // one generation, mmap-backed snapshot view the next), which rules out
-// atomic.Value (it panics on inconsistently typed stores).
-type storeRef struct{ v engine.StoreView }
+// atomic.Value (it panics on inconsistently typed stores). The swap
+// generation travels inside the ref, so a single Load observes a
+// (view, generation) pair that was published together — there is no
+// window in which a reader can pair the new view with the old counter.
+type storeRef struct {
+	v engine.StoreView
+	// gen is the swap generation of this ref: 0 for the store the
+	// Answerer was built with, then strictly increasing per SwapStore.
+	// Every published ref gets a fresh value — even when the same
+	// StoreView object is re-installed (a rollback), its new ref is
+	// distinguishable from the original installation. Cache layers key
+	// correctness on exactly that property (see httpserve).
+	gen uint64
+}
 
 // Answerer is the serving front door. Create one per (relation, store)
 // pair with New and share it freely across goroutines. The live store is
@@ -121,11 +133,12 @@ type storeRef struct{ v engine.StoreView }
 // changes, e.g. swapping a heap-decoded store for an mmap-backed
 // snapshot view.
 type Answerer struct {
-	rel   *relation.Relation
-	store atomic.Pointer[storeRef]
-	ex    *voice.Extractor
-	opts  Options
-	help  string
+	rel    atomic.Pointer[relation.Relation]
+	store  atomic.Pointer[storeRef]
+	genSeq atomic.Uint64
+	ex     *voice.Extractor
+	opts   Options
+	help   string
 }
 
 // New builds an Answerer over any store view. A heap store is frozen as
@@ -136,13 +149,13 @@ func New(rel *relation.Relation, store engine.StoreView, ex *voice.Extractor, op
 		opts.MinExtremumRows = 10
 	}
 	a := &Answerer{
-		rel:  rel,
 		ex:   ex,
 		opts: opts,
 		help: fmt.Sprintf("You can ask about %s, restricted by %s.",
 			strings.Join(rel.Schema().Targets, ", "),
 			strings.Join(rel.Schema().Dimensions, ", ")),
 	}
+	a.rel.Store(rel)
 	a.store.Store(&storeRef{v: engine.Seal(store)})
 	return a
 }
@@ -151,6 +164,32 @@ func New(rel *relation.Relation, store engine.StoreView, ex *voice.Extractor, op
 // a snapshot: a concurrent SwapStore does not affect it.
 func (a *Answerer) Store() engine.StoreView {
 	return a.store.Load().v
+}
+
+// StoreGen returns the live store view together with its swap
+// generation, loaded from one atomic reference: the pair is always
+// consistent, even against concurrent swaps. The generation is 0 for
+// the store the Answerer was built with and strictly increases with
+// every SwapStore — including one that re-installs a previously live
+// view — so "generation unchanged across two loads" proves no swap
+// happened in between. That is the invariant caching layers need to
+// tag a computed answer with the store it was actually computed
+// against.
+func (a *Answerer) StoreGen() (engine.StoreView, uint64) {
+	ref := a.store.Load()
+	return ref.v, ref.gen
+}
+
+// Generation returns the swap generation of the live store.
+func (a *Answerer) Generation() uint64 {
+	return a.store.Load().gen
+}
+
+// Rel returns the relation the run-time aggregation answers (extremum,
+// comparison) are computed over. Like the store, the reference is a
+// snapshot; SwapData replaces it when a row delta is published.
+func (a *Answerer) Rel() *relation.Relation {
+	return a.rel.Load()
 }
 
 // SwapStore atomically replaces the live store view with next and
@@ -167,7 +206,25 @@ func (a *Answerer) SwapStore(next engine.StoreView) engine.StoreView {
 	if next == nil {
 		panic("serve: SwapStore with nil store")
 	}
-	return a.store.Swap(&storeRef{v: engine.Seal(next)}).v
+	// The generation is allocated from a separate counter rather than
+	// read off the previous ref: two racing swaps would otherwise both
+	// observe the same predecessor and publish duplicate generations.
+	ref := &storeRef{v: engine.Seal(next), gen: a.genSeq.Add(1)}
+	return a.store.Swap(ref).v
+}
+
+// SwapData publishes a post-delta generation: the relation the rows
+// now look like and the store re-summarized over those rows. The two
+// publishes are individually atomic (an in-flight answer pairs the
+// store or relation it loaded with itself, never with a torn half),
+// with the relation first so no answer computed against the new store
+// aggregates over the old rows.
+func (a *Answerer) SwapData(rel *relation.Relation, next engine.StoreView) engine.StoreView {
+	if rel == nil {
+		panic("serve: SwapData with nil relation")
+	}
+	a.rel.Store(rel)
+	return a.SwapStore(next)
 }
 
 // Rebuild re-runs pre-processing through the supplied build function and
@@ -299,12 +356,15 @@ func (a *Answerer) answerExtremum(c voice.Classification, text string) (Answer, 
 	if !ok {
 		return Answer{}, false
 	}
-	_, preds, err := c.Query.Resolve(a.rel)
+	// One load per answer: resolution and aggregation must see the same
+	// relation generation even while a delta publish swaps it.
+	rel := a.rel.Load()
+	_, preds, err := c.Query.Resolve(rel)
 	if err != nil {
 		return Answer{}, false
 	}
 	kind := extremumKind(text)
-	res, err := engine.AnswerExtremum(a.rel, c.Query.Target, dim, preds, kind, a.opts.MinExtremumRows)
+	res, err := engine.AnswerExtremum(rel, c.Query.Target, dim, preds, kind, a.opts.MinExtremumRows)
 	if err != nil {
 		return Answer{}, false
 	}
@@ -320,15 +380,16 @@ func (a *Answerer) answerComparison(c voice.Classification, text string) (Answer
 		return Answer{}, false
 	}
 	va, vb := vals[0], vals[1]
-	pa, err := a.rel.PredicateByName(va.Column, va.Value)
+	rel := a.rel.Load()
+	pa, err := rel.PredicateByName(va.Column, va.Value)
 	if err != nil {
 		return Answer{}, false
 	}
-	pb, err := a.rel.PredicateByName(vb.Column, vb.Value)
+	pb, err := rel.PredicateByName(vb.Column, vb.Value)
 	if err != nil {
 		return Answer{}, false
 	}
-	res, err := engine.AnswerComparison(a.rel, c.Query.Target,
+	res, err := engine.AnswerComparison(rel, c.Query.Target,
 		[]relation.Predicate{pa}, []relation.Predicate{pb})
 	if err != nil {
 		return Answer{}, false

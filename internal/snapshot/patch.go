@@ -1,0 +1,149 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"cicero/internal/engine"
+)
+
+// Patch is the snapshot patch artifact: the durable form of one
+// incremental re-summarization (internal/delta). Where a snapshot
+// captures a whole store, a patch captures only what a delta changed —
+// the row-op journal plus the re-solved speeches — keyed to the exact
+// base snapshot it applies to by fingerprint. A cold-starting node
+// holding the base artifact replays base + patch in milliseconds; a
+// node holding anything else refuses, because applying a journal to the
+// wrong base would silently serve a chimera store.
+//
+// The payload is JSON (patches are small — proportional to the delta,
+// not the dataset — so the snapshot format's flat-section machinery
+// would be overkill), wrapped in the same magic/version/CRC armor and
+// written through the same atomic temp-fsync-rename path as snapshots,
+// so a crashed writer can never tear a patch under the target name.
+type Patch struct {
+	// Dataset names the relation the patch applies to.
+	Dataset string `json:"dataset"`
+	// BaseFingerprint is the build fingerprint of the base snapshot the
+	// patch was computed against; Replay must refuse any other base.
+	BaseFingerprint string `json:"base_fingerprint"`
+	// Fingerprint is the build fingerprint of the patched store
+	// (pipeline.FingerprintDelta of the base parameters and DeltaTag).
+	Fingerprint string `json:"fingerprint"`
+	// DeltaTag is the provenance tag of the row-delta batch.
+	DeltaTag string `json:"delta_tag"`
+	// Ops is the row-op journal, replayed against the base rows to
+	// reconstruct the post-delta relation. The field mirrors
+	// delta.Op without importing it (delta already imports snapshot's
+	// siblings transitively via the pipeline).
+	Ops []PatchOp `json:"ops"`
+	// RemovedKeys lists canonical keys of base speeches absent from the
+	// patched store.
+	RemovedKeys []string `json:"removed_keys,omitempty"`
+	// Upserts are the re-solved speeches in name-resolved persistence
+	// form, so they survive dictionary re-assignment like snapshots do.
+	Upserts []engine.PersistedSpeech `json:"upserts,omitempty"`
+}
+
+// PatchOp is one row-level change of the journal; the fields and JSON
+// encoding match delta.Op exactly.
+type PatchOp struct {
+	Kind    string    `json:"op"`
+	Row     int       `json:"row,omitempty"`
+	Dims    []string  `json:"dims,omitempty"`
+	Targets []float64 `json:"targets,omitempty"`
+}
+
+// PatchMagic identifies a cicero snapshot patch file (first 8 bytes).
+const PatchMagic = "CICERPTC"
+
+// PatchVersion is the patch format version this build reads and writes.
+const PatchVersion uint32 = 1
+
+// patchHeaderSize: magic (8) + version (4) + payload size (8) + payload
+// CRC-32C (4) + CRC-32C of the preceding 24 header bytes (4).
+const patchHeaderSize = 28
+
+// maxPatchPayload bounds the payload size a reader accepts, so a
+// corrupt length cannot drive a huge allocation.
+const maxPatchPayload = 1 << 31
+
+// WritePatch encodes the patch to w.
+func WritePatch(w io.Writer, p *Patch) error {
+	payload, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, patchHeaderSize)
+	copy(hdr[0:8], PatchMagic)
+	le.PutUint32(hdr[8:12], PatchVersion)
+	le.PutUint64(hdr[12:20], uint64(len(payload)))
+	le.PutUint32(hdr[20:24], crc32.Checksum(payload, castagnoli))
+	le.PutUint32(hdr[24:28], crc32.Checksum(hdr[:24], castagnoli))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// WritePatchFile writes the patch to path atomically (temp file, fsync,
+// rename, directory fsync) — the same publish discipline as snapshots,
+// so at every crash position the old artifact (or no artifact) is what
+// a reader observes, never a torn one.
+func WritePatchFile(path string, p *Patch) error {
+	return atomicWriteFile(path, func(w io.Writer) error {
+		return WritePatch(w, p)
+	})
+}
+
+// ReadPatch decodes a patch from r, enforcing magic, version and both
+// checksums.
+func ReadPatch(r io.Reader) (*Patch, error) {
+	hdr := make([]byte, patchHeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[0:8]) != PatchMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[0:8])
+	}
+	if crc := crc32.Checksum(hdr[:24], castagnoli); crc != le.Uint32(hdr[24:28]) {
+		return nil, fmt.Errorf("%w: header checksum mismatch", ErrCorrupt)
+	}
+	if v := le.Uint32(hdr[8:12]); v != PatchVersion {
+		return nil, fmt.Errorf("%w: file version %d, supported %d", ErrVersion, v, PatchVersion)
+	}
+	size := le.Uint64(hdr[12:20])
+	if size > maxPatchPayload {
+		return nil, fmt.Errorf("%w: payload size %d exceeds limit", ErrCorrupt, size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: short payload: %v", ErrCorrupt, err)
+	}
+	if crc := crc32.Checksum(payload, castagnoli); crc != le.Uint32(hdr[20:24]) {
+		return nil, fmt.Errorf("%w: payload checksum mismatch", ErrCorrupt)
+	}
+	var p Patch
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return nil, fmt.Errorf("%w: payload decode: %v", ErrCorrupt, err)
+	}
+	return &p, nil
+}
+
+// ReadPatchFile reads a patch artifact from path.
+func ReadPatchFile(path string) (*Patch, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := ReadPatch(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}

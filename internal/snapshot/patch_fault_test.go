@@ -1,0 +1,153 @@
+package snapshot
+
+// Fault-injection tests for the patch-journal publish path: a delta
+// publish crashing at any write position must leave the previous
+// generation — base snapshot plus, if present, the previously published
+// patch — fully servable. The patch write reuses the snapshot's atomic
+// temp-fsync-rename harness, and these tests pin that the reuse
+// actually delivers the crash-safety the delta runbook promises.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cicero/internal/dataset"
+	"cicero/internal/engine"
+)
+
+func testPatch(tag string) *Patch {
+	return &Patch{
+		Dataset:         "flights",
+		BaseFingerprint: "base-fp",
+		Fingerprint:     "base-fp delta=" + tag,
+		DeltaTag:        tag,
+		Ops: []PatchOp{
+			{Kind: "update", Row: 3, Targets: []float64{0.5}},
+			{Kind: "insert", Dims: []string{"Winter", "UA", "JFK", "January"}, Targets: []float64{1}},
+		},
+		RemovedKeys: []string{"cancelled"},
+		Upserts: []engine.PersistedSpeech{{
+			Query: engine.Query{Target: "cancelled"},
+			Text:  "patched speech " + tag,
+		}},
+	}
+}
+
+func TestPatchRoundTripAndCorruption(t *testing.T) {
+	p := testPatch("ops=2,hash=1")
+	var buf bytes.Buffer
+	if err := WritePatch(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPatch(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != p.Fingerprint || len(got.Ops) != 2 || len(got.Upserts) != 1 ||
+		got.RemovedKeys[0] != "cancelled" || got.Ops[1].Dims[0] != "Winter" {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+
+	// Truncation at every byte and a flip of every byte must be caught.
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := ReadPatch(bytes.NewReader(data[:cut])); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: error %v, want ErrCorrupt", cut, err)
+		}
+	}
+	for i := 0; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		if _, err := ReadPatch(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("bit flip at byte %d went undetected", i)
+		}
+	}
+}
+
+// TestPatchPublishCrashKeepsOldGenerationServable walks the full delta
+// publish sequence — snapshot present, patch v1 published, patch v2
+// write crashing at every position — asserting after each simulated
+// crash that a cold-starting reader still assembles the exact previous
+// generation: the base snapshot loads, and the patch on disk (if any)
+// is the complete old one, never a torn or half-new artifact.
+func TestPatchPublishCrashKeepsOldGenerationServable(t *testing.T) {
+	rel := dataset.Flights(300, 1)
+	store := buildStore(t, rel, 1)
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "flights.snap")
+	patchPath := filepath.Join(dir, "flights.patch")
+
+	if err := WriteFileTagged(snapPath, store, rel, "base-fp"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Count the writes of a clean patch publish, then crash each one.
+	probe := &faultingWriter{w: bytes.NewBuffer(nil)}
+	if err := WritePatch(probe, testPatch("v2")); err != nil {
+		t.Fatal(err)
+	}
+
+	checkGeneration := func(t *testing.T, wantPatch string) {
+		t.Helper()
+		if loaded, err := ReadFile(snapPath, rel); err != nil || loaded.Len() != store.Len() {
+			t.Fatalf("base snapshot no longer servable: %v", err)
+		}
+		switch _, statErr := os.Stat(patchPath); {
+		case wantPatch == "":
+			if !errors.Is(statErr, os.ErrNotExist) {
+				t.Fatalf("patch exists before any successful publish")
+			}
+		default:
+			p, err := ReadPatchFile(patchPath)
+			if err != nil {
+				t.Fatalf("published patch not readable: %v", err)
+			}
+			if p.DeltaTag != wantPatch {
+				t.Fatalf("patch on disk has tag %q, want the previous generation %q", p.DeltaTag, wantPatch)
+			}
+		}
+		if leftovers, _ := filepath.Glob(filepath.Join(dir, "*.tmp*")); len(leftovers) != 0 {
+			t.Fatalf("crash leaked temp files: %v", leftovers)
+		}
+	}
+
+	// Phase 1: no patch yet; v1's write crashes at every position and
+	// must leave the snapshot-only generation intact.
+	for failAt := 1; failAt <= probe.calls; failAt++ {
+		err := atomicWriteFile(patchPath, func(w io.Writer) error {
+			return WritePatch(&faultingWriter{w: w, failAt: failAt}, testPatch("v1"))
+		})
+		if !errors.Is(err, errWriteFault) {
+			t.Fatalf("fault at write %d: error %v", failAt, err)
+		}
+		checkGeneration(t, "")
+	}
+
+	// v1 publishes cleanly.
+	if err := WritePatchFile(patchPath, testPatch("v1")); err != nil {
+		t.Fatal(err)
+	}
+	checkGeneration(t, "v1")
+
+	// Phase 2: v2's write crashes at every position and must leave the
+	// complete v1 generation in place.
+	for failAt := 1; failAt <= probe.calls; failAt++ {
+		err := atomicWriteFile(patchPath, func(w io.Writer) error {
+			return WritePatch(&faultingWriter{w: w, failAt: failAt}, testPatch("v2"))
+		})
+		if !errors.Is(err, errWriteFault) {
+			t.Fatalf("fault at write %d: error %v", failAt, err)
+		}
+		checkGeneration(t, "v1")
+	}
+
+	// And the clean v2 publish supersedes v1 atomically.
+	if err := WritePatchFile(patchPath, testPatch("v2")); err != nil {
+		t.Fatal(err)
+	}
+	checkGeneration(t, "v2")
+}
