@@ -32,6 +32,15 @@
 //	serve -data flights -loadgen -requests 5000 -load-workers 16 -zipf 1.3
 //	serve -loadgen -target http://summaries.internal:8080 -data flights
 //
+// With -loadgen -dialog the harness replays multi-turn dialogue
+// sessions instead — opening questions plus elliptical follow-ups
+// ("what about Texas", "and the lowest"), each dialogue under its own
+// session id — and reports the follow-up resolution rate alongside the
+// latency split (BENCH_dialog.json).
+//
+//	serve -data housing -maxlen 1 -loadgen -dialog -dialogues 200 -turns 4
+//	serve -loadgen -dialog -target http://summaries.internal:8080 -data housing
+//
 // With -snapshot-bench it measures the cold-start story instead of
 // serving: rebuild-from-raw time vs snapshot save + load time on the
 // first dataset, written as BENCH_snapshot.json.
@@ -71,7 +80,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
-		data     = flag.String("data", "flights", "single data set: acs, stackoverflow, flights, primaries")
+		data     = flag.String("data", "flights", "single data set: acs, stackoverflow, flights, primaries, housing")
 		datasets = flag.String("datasets", "", "comma-separated data sets to mount (overrides -data); the first is the default")
 		seed     = flag.Int64("seed", 1, "data generation seed")
 		maxLen   = flag.Int("maxlen", 2, "maximal supported query length")
@@ -103,6 +112,10 @@ func main() {
 		distinct = flag.Int("distinct", 64, "loadgen distinct utterances per kind")
 		loadSeed = flag.Int64("load-seed", 42, "loadgen workload seed")
 		out      = flag.String("out", "BENCH_serve.json", "loadgen result artifact path")
+
+		dialog    = flag.Bool("dialog", false, "with -loadgen: replay multi-turn dialogue sessions instead of one-shot requests")
+		dialogues = flag.Int("dialogues", 200, "dialogue count (with -dialog)")
+		turns     = flag.Int("turns", 4, "maximal turns per dialogue including the opening (with -dialog)")
 
 		snapBench = flag.String("snapshot-bench", "", "measure rebuild vs snapshot cold start on the first dataset, write the report here, and exit")
 	)
@@ -177,11 +190,21 @@ func main() {
 	loadOpts := load.Options{
 		Requests: *requests, Distinct: *distinct, Zipf: *zipf, Seed: *loadSeed,
 	}
+	dialogOpts := load.DialogOptions{
+		Dialogues: *dialogues, Turns: *turns, Distinct: *distinct, Zipf: *zipf, Seed: *loadSeed,
+	}
+	if *dialog && *out == "BENCH_serve.json" {
+		*out = "BENCH_dialog.json"
+	}
 	if *loadgen {
 		// Replaying against a remote server needs only the relation (for
 		// workload synthesis), not the expensive local pre-processing.
 		if *target != "" {
-			runLoadgen(ctx, nil, rels[defName], defName, loadOpts, *target, *loadWork, *out)
+			if *dialog {
+				runDialoggen(ctx, nil, rels[defName], defName, dialogOpts, *target, *loadWork, *out)
+			} else {
+				runLoadgen(ctx, nil, rels[defName], defName, loadOpts, *target, *loadWork, *out)
+			}
 			return
 		}
 		// The harness only ever replays against the default dataset, so
@@ -215,7 +238,11 @@ func main() {
 	})
 
 	if *loadgen {
-		runLoadgen(ctx, srv, rels[defName], defName, loadOpts, "", *loadWork, *out)
+		if *dialog {
+			runDialoggen(ctx, srv, rels[defName], defName, dialogOpts, "", *loadWork, *out)
+		} else {
+			runLoadgen(ctx, srv, rels[defName], defName, loadOpts, "", *loadWork, *out)
+		}
 		return
 	}
 	runDaemon(ctx, srv, *addr, *rebuild, names, rels, *snapDir, fingerprint, builder,
@@ -689,18 +716,9 @@ func runLoadgen(ctx context.Context, srv *httpserve.Server, rel *relation.Relati
 		len(texts), opts.Distinct, opts.Zipf)
 
 	if target == "" {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			fatalf("loadgen listener: %v", err)
-		}
-		httpSrv := &http.Server{Handler: srv.Handler()}
-		go func() {
-			if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintf(os.Stderr, "loadgen server: %v\n", err)
-			}
-		}()
-		defer httpSrv.Close()
-		target = "http://" + ln.Addr().String()
+		var close func()
+		target, close = loopbackServer(srv)
+		defer close()
 		fmt.Fprintf(os.Stderr, "replaying against in-process server at %s\n", target)
 	}
 
@@ -716,6 +734,59 @@ func runLoadgen(ctx context.Context, srv *httpserve.Server, rel *relation.Relati
 	if res.Errors == res.Requests {
 		fatalf("every request failed against %s", target)
 	}
+}
+
+// runDialoggen replays a synthesized multi-turn dialogue workload —
+// opening questions plus elliptical follow-ups, each dialogue under its
+// own session id — and writes the BENCH_dialog.json artifact. The
+// report's headline is the follow-up resolution rate: the fraction of
+// follow-up turns answered against the session context rather than
+// apologized away.
+func runDialoggen(ctx context.Context, srv *httpserve.Server, rel *relation.Relation, name string, opts load.DialogOptions, target string, workers int, out string) {
+	opts.TargetPhrases = voice.SpokenTargetPhrases(voice.DefaultSamples(name))
+	dialogues := load.GenerateDialogues(rel, opts)
+	turns := 0
+	for _, d := range dialogues {
+		turns += len(d.Turns)
+	}
+	fmt.Fprintf(os.Stderr, "generated %d dialogues, %d turns (%d distinct openings, zipf %.2f)\n",
+		len(dialogues), turns, opts.Distinct, opts.Zipf)
+
+	if target == "" {
+		var close func()
+		target, close = loopbackServer(srv)
+		defer close()
+		fmt.Fprintf(os.Stderr, "replaying against in-process server at %s\n", target)
+	}
+
+	res := load.RunDialog(ctx, nil, target, name, dialogues, workers)
+	res.Turns, res.Zipf, res.Distinct = opts.Turns, opts.Zipf, opts.Distinct
+	fmt.Print(res.Summary())
+	if out != "" {
+		if err := res.WriteFile(out); err != nil {
+			fatalf("write %s: %v", out, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	}
+	if res.Errors == res.Requests {
+		fatalf("every request failed against %s", target)
+	}
+}
+
+// loopbackServer exposes srv on an ephemeral loopback listener for the
+// in-process harness runs.
+func loopbackServer(srv *httpserve.Server) (string, func()) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatalf("loadgen listener: %v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "loadgen server: %v\n", err)
+		}
+	}()
+	return "http://" + ln.Addr().String(), func() { httpSrv.Close() }
 }
 
 func fatalf(format string, args ...any) {

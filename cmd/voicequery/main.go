@@ -4,6 +4,10 @@
 // actual microphone — or replays a query log concurrently and reports
 // serving-latency percentiles.
 //
+// The REPL is a dialogue session: after a followable answer, elliptical
+// follow-ups ("what about Summer?", "and the lowest?", "how about the
+// top three?") resolve against the previous question.
+//
 // Usage:
 //
 //	voicequery -data flights
@@ -37,7 +41,7 @@ import (
 
 func main() {
 	var (
-		dataName  = flag.String("data", "flights", "data set: acs, stackoverflow, flights, primaries")
+		dataName  = flag.String("data", "flights", "data set: acs, stackoverflow, flights, primaries, housing")
 		maxLen    = flag.Int("maxlen", 2, "maximal query length")
 		seed      = flag.Int64("seed", 1, "data generation seed")
 		batchPath = flag.String("batch", "", "replay a request log (one per line, \"-\" for stdin) instead of the REPL")
@@ -119,7 +123,8 @@ func readBatch(path string) ([]string, error) {
 // runREPL is the interactive loop: a thin shell over one serving session.
 func runREPL(a *serve.Answerer) {
 	session := a.NewSession()
-	fmt.Println("Ask about the data (e.g. \"cancellations in Winter?\"); \"help\" lists columns; ctrl-D exits.")
+	fmt.Println("Ask about the data (e.g. \"cancellations in Winter?\", \"which season has the most cancellations?\",")
+	fmt.Println("then follow up with \"what about Summer?\" or \"and the lowest?\"); \"help\" lists columns; ctrl-D exits.")
 	scanner := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("> ")
@@ -151,8 +156,9 @@ func runBatch(a *serve.Answerer, texts []string, workers int) {
 		len(texts), workers, res.Elapsed.Round(time.Millisecond), res.Throughput)
 	fmt.Printf("answered: %d (%.0f%%)\n", res.Answered,
 		100*float64(res.Answered)/float64(len(texts)))
-	for _, k := range []serve.Kind{serve.Summary, serve.Extremum, serve.Comparison,
-		serve.Help, serve.Repeat, serve.Unsupported, serve.Unknown} {
+	for _, k := range []serve.Kind{serve.Summary, serve.Extremum, serve.TopK,
+		serve.Trend, serve.Constrained, serve.Comparison, serve.Help, serve.Repeat,
+		serve.FollowUp, serve.Unsupported, serve.Unknown} {
 		if byKind[k] > 0 {
 			fmt.Printf("  %-12s %d\n", k.String(), byKind[k])
 		}

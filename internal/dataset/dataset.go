@@ -41,6 +41,7 @@ var DefaultRows = map[string]int{
 	"stackoverflow": 9000,
 	"flights":       12000,
 	"primaries":     2500,
+	"housing":       6000,
 }
 
 // boroughs and ageGroups mirror the ACS study of Figure 6 / Table II.
@@ -321,6 +322,85 @@ func Primaries(rows int, seed int64) *relation.Relation {
 	return b.Freeze()
 }
 
+// housing dimension domains. The generator mirrors the shape of public
+// observed-rent-index extracts (Zillow ZORI style): one rent observation
+// per (city, bedrooms, month) draw over an 18-month window. Like the
+// other generators it is synthesized rather than redistributed, with
+// planted effects: coastal metros rent highest, rents rise month over
+// month with a summer bump, and city populations are stable — which is
+// what makes the dataset useful for trend / time-window questions and
+// "population over 500 thousand" entity constraints.
+var (
+	hoCities = []string{
+		"New York", "Los Angeles", "Chicago", "Houston", "Phoenix",
+		"San Antonio", "Dallas", "Austin", "San Francisco", "Seattle",
+		"Denver", "Boston", "Portland", "Atlanta", "Miami",
+		"Madison", "Boise", "Asheville",
+	}
+	hoStates = []string{
+		"New York", "California", "Illinois", "Texas", "Arizona",
+		"Texas", "Texas", "Texas", "California", "Washington",
+		"Colorado", "Massachusetts", "Oregon", "Georgia", "Florida",
+		"Wisconsin", "Idaho", "North Carolina",
+	}
+	hoPops = []float64{
+		8_400_000, 3_900_000, 2_700_000, 2_300_000, 1_600_000,
+		1_500_000, 1_300_000, 960_000, 870_000, 740_000,
+		715_000, 675_000, 650_000, 490_000, 440_000,
+		270_000, 235_000, 95_000,
+	}
+	hoBaseRent = []float64{
+		3400, 2700, 1700, 1400, 1500,
+		1250, 1600, 1800, 3300, 2300,
+		1900, 2900, 1750, 1550, 2200,
+		1300, 1200, 1150,
+	}
+	hoBedrooms = []string{"Studio", "One bedroom", "Two bedroom", "Three bedroom"}
+	hoBedMult  = []float64{0.65, 0.8, 1.0, 1.3}
+	hoMonths   = []string{
+		"January 2023", "February 2023", "March 2023", "April 2023",
+		"May 2023", "June 2023", "July 2023", "August 2023",
+		"September 2023", "October 2023", "November 2023", "December 2023",
+		"January 2024", "February 2024", "March 2024", "April 2024",
+		"May 2024", "June 2024",
+	}
+)
+
+// Housing generates the rent-index relation: 4 dimensions (city, state,
+// bedrooms, month) and two targets (monthly rent in dollars, city
+// population). It is the time-series tenant: the month dimension spans
+// 18 consecutive "Month Year" periods and rents carry a planted upward
+// trend (~0.8% per month plus a summer premium), so trend questions
+// have real signal. Population is constant per city up to 1% noise, so
+// entity constraints like "over 500 thousand" select a stable city set.
+func Housing(rows int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	b := relation.NewBuilder("housing", relation.Schema{
+		Dimensions: []string{"city", "state", "bedrooms", "month"},
+		Targets:    []string{"rent", "population"},
+	})
+	for i := 0; i < rows; i++ {
+		ci := rng.Intn(len(hoCities))
+		be := rng.Intn(len(hoBedrooms))
+		mo := rng.Intn(len(hoMonths))
+
+		rent := hoBaseRent[ci] * hoBedMult[be] * (1 + 0.008*float64(mo))
+		if m := hoMonths[mo]; len(m) > 4 && (m[:4] == "June" || m[:4] == "July" || m[:6] == "August") {
+			rent *= 1.03
+		}
+		rent *= 1 + rng.NormFloat64()*0.06
+		if rent < 300 {
+			rent = 300
+		}
+		pop := hoPops[ci] * (1 + rng.NormFloat64()*0.01)
+
+		b.MustAddRow([]string{
+			hoCities[ci], hoStates[ci], hoBedrooms[be], hoMonths[mo],
+		}, []float64{rent, pop})
+	}
+	return b.Freeze()
+}
+
 // ByName generates a data set by its canonical name using DefaultRows and
 // the given seed. It returns nil for unknown names.
 func ByName(name string, seed int64) *relation.Relation {
@@ -334,6 +414,8 @@ func ByName(name string, seed int64) *relation.Relation {
 		return Flights(rows, seed)
 	case "primaries":
 		return Primaries(rows, seed)
+	case "housing":
+		return Housing(rows, seed)
 	default:
 		return nil
 	}

@@ -200,3 +200,64 @@ func TestSeasonConsistency(t *testing.T) {
 		}
 	}
 }
+
+// TestHousingPlantedEffects verifies the time-series tenant's structure:
+// 18 chronological month periods, a rising rent trend, stable per-city
+// populations, coastal metros renting highest, and the Texas subset the
+// follow-up examples lean on.
+func TestHousingPlantedEffects(t *testing.T) {
+	rel := Housing(12000, 5)
+	if rel.Name() != "housing" {
+		t.Fatalf("name = %q", rel.Name())
+	}
+	if got := rel.NumDims(); got != 4 {
+		t.Fatalf("dims = %d, want 4", got)
+	}
+	if got := rel.NumTargets(); got != 2 {
+		t.Fatalf("targets = %d, want 2", got)
+	}
+	mi := rel.Schema().DimIndex("month")
+	if card := rel.Dim(mi).Cardinality(); card != 18 {
+		t.Fatalf("month cardinality = %d, want 18", card)
+	}
+
+	view := rel.FullView()
+	rent := rel.Schema().TargetIndex("rent")
+	pop := rel.Schema().TargetIndex("population")
+
+	first, _ := rel.PredicateByName("month", "January 2023")
+	last, _ := rel.PredicateByName("month", "June 2024")
+	firstMean := view.Select([]relation.Predicate{first}).Stats(rent).Mean()
+	lastMean := view.Select([]relation.Predicate{last}).Stats(rent).Mean()
+	if lastMean <= firstMean {
+		t.Errorf("rent trend not rising: %.0f -> %.0f", firstMean, lastMean)
+	}
+
+	ny, _ := rel.PredicateByName("city", "New York")
+	bo, _ := rel.PredicateByName("city", "Boise")
+	nyRent := view.Select([]relation.Predicate{ny}).Stats(rent).Mean()
+	boRent := view.Select([]relation.Predicate{bo}).Stats(rent).Mean()
+	if nyRent <= boRent {
+		t.Errorf("New York rent %.0f not above Boise %.0f", nyRent, boRent)
+	}
+	nyPop := view.Select([]relation.Predicate{ny}).Stats(pop).Mean()
+	if nyPop < 8_000_000 || nyPop > 8_800_000 {
+		t.Errorf("New York population %.0f out of range", nyPop)
+	}
+
+	tx, err := rel.PredicateByName("state", "Texas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	txRows := view.Select([]relation.Predicate{tx}).NumRows()
+	if txRows < 1000 {
+		t.Errorf("Texas subset has only %d rows", txRows)
+	}
+
+	if ByName("housing", 5) == nil {
+		t.Error("ByName does not know housing")
+	}
+	if DefaultRows["housing"] == 0 {
+		t.Error("DefaultRows missing housing")
+	}
+}

@@ -46,11 +46,11 @@ func (a ExtremumAnswer) Text(kind ExtremumKind, target string) string {
 	if kind == Min {
 		word = "lowest"
 	}
-	s := fmt.Sprintf("The %s with the %s average %s is %s, at about %.3g.",
+	s := fmt.Sprintf("The %s with the %s average %s is %s, at about %s.",
 		strings.ReplaceAll(a.Dimension, "_", " "), word,
-		strings.ReplaceAll(target, "_", " "), a.Value, a.Mean)
+		strings.ReplaceAll(target, "_", " "), a.Value, spokenFloat(a.Mean))
 	if a.RunnerUpValue != "" {
-		s += fmt.Sprintf(" Next is %s with %.3g.", a.RunnerUpValue, a.RunnerUpMean)
+		s += fmt.Sprintf(" Next is %s with %s.", a.RunnerUpValue, spokenFloat(a.RunnerUpMean))
 	}
 	return s
 }
@@ -121,14 +121,14 @@ func (c ComparisonAnswer) Text(target, labelA, labelB string) string {
 	t := strings.ReplaceAll(target, "_", " ")
 	switch {
 	case c.MeanA > c.MeanB:
-		return fmt.Sprintf("The average %s is higher for %s (%.3g) than for %s (%.3g).",
-			t, labelA, c.MeanA, labelB, c.MeanB)
+		return fmt.Sprintf("The average %s is higher for %s (%s) than for %s (%s).",
+			t, labelA, spokenFloat(c.MeanA), labelB, spokenFloat(c.MeanB))
 	case c.MeanA < c.MeanB:
-		return fmt.Sprintf("The average %s is lower for %s (%.3g) than for %s (%.3g).",
-			t, labelA, c.MeanA, labelB, c.MeanB)
+		return fmt.Sprintf("The average %s is lower for %s (%s) than for %s (%s).",
+			t, labelA, spokenFloat(c.MeanA), labelB, spokenFloat(c.MeanB))
 	default:
-		return fmt.Sprintf("The average %s is the same for %s and %s (%.3g).",
-			t, labelA, labelB, c.MeanA)
+		return fmt.Sprintf("The average %s is the same for %s and %s (%s).",
+			t, labelA, labelB, spokenFloat(c.MeanA))
 	}
 }
 

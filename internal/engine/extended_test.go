@@ -221,3 +221,23 @@ func TestParallelPreprocessMatchesSequential(t *testing.T) {
 		}
 	}
 }
+
+func TestAnswerTextNeverScientific(t *testing.T) {
+	// Housing-scale means (thousands of dollars) must render as spoken
+	// numbers, not the "3.34e+03" that %.3g produces above 1000.
+	ext := ExtremumAnswer{
+		Dimension: "city", Value: "New York", Mean: 3341.7,
+		RunnerUpValue: "San Francisco", RunnerUpMean: 3289.2,
+	}
+	if s := ext.Text(Max, "rent"); strings.Contains(s, "e+0") {
+		t.Errorf("extremum text uses scientific notation: %q", s)
+	}
+	cmp := ComparisonAnswer{MeanA: 1804.3, MeanB: 1253.9, CountA: 10, CountB: 10}
+	if s := cmp.Text("rent", "Austin", "San Antonio"); strings.Contains(s, "e+0") {
+		t.Errorf("comparison text uses scientific notation: %q", s)
+	}
+	tmpl := Template{Unit: "dollars"}
+	if s := tmpl.formatValue(2541.8); strings.Contains(s, "e+0") {
+		t.Errorf("summary value uses scientific notation: %q", s)
+	}
+}

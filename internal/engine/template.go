@@ -29,7 +29,7 @@ func (t Template) formatValue(v float64) string {
 	if t.Percent {
 		return fmt.Sprintf("%.0f%%", v*100)
 	}
-	s := fmt.Sprintf("%.3g", v)
+	s := spokenFloat(v)
 	if t.Unit != "" {
 		s += " " + t.Unit
 	}

@@ -68,6 +68,50 @@ var goldenTexts = []string{
 	"winter",
 	"UA",
 	"which mountain is the highest",
+	// Top-k rankings, spoken and digit counts, both directions.
+	"the top three airlines with the highest cancellations",
+	"top 3 airlines with the highest cancellations",
+	"the two seasons with the highest cancellations",
+	"bottom two airlines by cancellations",
+	"the three airlines with the fewest cancellations",
+	"top five airlines by cancellation probability",
+	"what are the top 2 seasons for cancellations",
+	"give me the top four airlines with the lowest cancellations",
+	// Numeric entity constraints across the operator vocabulary.
+	"airlines with cancellations over 10 percent",
+	"airlines with cancellations above 15 percent",
+	"which airlines have cancellations of at least 5 percent",
+	"airlines whose cancellations are under 50 percent",
+	"seasons with cancellations over 10 percent",
+	"airlines with cancellations greater than 90 percent",
+	"airlines having cancellations below 99 percent",
+	// Constrained extremum: ranking restricted to qualifying entities.
+	"the airline with the highest cancellations among airlines with cancellations over 5 percent",
+	// Trends and time windows over the month dimension.
+	"how did cancellations change over time",
+	"cancellation trend",
+	"cancellations since July",
+	"how did cancellations change since February",
+	"cancellations between February and June",
+	"cancellations from January to March",
+	"cancellation trend over the last three months",
+	"how did cancellations evolve over the last 2 quarters",
+	"cancellations in Winter since March",
+	// Elliptical follow-ups: the stateless endpoint apologizes, pinning
+	// that they are recognized as follow-ups rather than noise.
+	"what about Winter",
+	"what about UA",
+	"and the lowest",
+	"how about the top five airlines",
+	"what about",
+	"and",
+	// Adversarial shapes the grammar must not crash or misroute on.
+	"top 99999 airlines",
+	"top 0 airlines by cancellations",
+	"since since since",
+	"cancellations over 10",
+	"the top three mountains with the highest snowfall",
+	"airlines with altitude over 10 thousand",
 }
 
 // goldenEntry pins one routing outcome.

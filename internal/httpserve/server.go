@@ -173,6 +173,10 @@ type Options struct {
 	// BatchWorkers bounds concurrent items within one batch request
 	// (default 8).
 	BatchWorkers int
+	// SessionEntries bounds the number of live dialogue sessions across
+	// all datasets (default 4096, LRU-evicted). Negative disables
+	// dialogue sessions; session requests are then served statelessly.
+	SessionEntries int
 }
 
 func (o Options) withDefaults() Options {
@@ -196,6 +200,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BatchWorkers <= 0 {
 		o.BatchWorkers = 8
+	}
+	if o.SessionEntries == 0 {
+		o.SessionEntries = 4096
 	}
 	return o
 }
@@ -226,7 +233,8 @@ type Server struct {
 	answerer *serve.Answerer // non-nil iff single-tenant over a *serve.Answerer
 	registry *serve.Registry // non-nil iff built with NewMulti
 	opts     Options
-	cache    *answerCache // nil when caching is disabled
+	cache    *answerCache  // nil when caching is disabled
+	sessions *sessionTable // nil when dialogue sessions are disabled
 	flights  *flightGroup
 	sem      chan struct{}
 	started  time.Time
@@ -290,6 +298,9 @@ func newServer(tenants tenantSet, defName string, opts Options) *Server {
 	}
 	if opts.CacheEntries > 0 {
 		s.cache = newAnswerCache(opts.CacheEntries, opts.CacheShards)
+	}
+	if opts.SessionEntries > 0 {
+		s.sessions = newSessionTable(opts.SessionEntries)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/answer", s.handleAnswer)
@@ -628,9 +639,12 @@ func (s *Server) Stats() StatsSnapshot {
 // Wire types of POST /v1/answer.
 
 // AnswerRequest is the request body: exactly one of Text or Texts.
+// Session optionally names a dialogue: requests sharing a session id
+// resolve follow-ups against each other's context (single text only).
 type AnswerRequest struct {
-	Text  string   `json:"text,omitempty"`
-	Texts []string `json:"texts,omitempty"`
+	Text    string   `json:"text,omitempty"`
+	Texts   []string `json:"texts,omitempty"`
+	Session string   `json:"session,omitempty"`
 }
 
 // AnswerResponse is one served answer on the wire.
@@ -759,10 +773,20 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("batch of %d exceeds the %d-request limit", len(req.Texts), s.opts.MaxBatch))
 		return
+	case req.Session != "" && len(req.Texts) > 0:
+		writeError(w, http.StatusBadRequest,
+			`"session" requires a single "text": a dialogue is inherently ordered`)
+		return
 	}
 
 	if req.Text != "" {
-		res, err := s.AnswerDataset(r.Context(), dataset, req.Text)
+		var res Result
+		var err error
+		if req.Session != "" {
+			res, err = s.AnswerSession(r.Context(), dataset, req.Session, req.Text)
+		} else {
+			res, err = s.AnswerDataset(r.Context(), dataset, req.Text)
+		}
 		if err != nil {
 			writeError(w, statusFor(err), err.Error())
 			return

@@ -1,0 +1,212 @@
+package httpserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"cicero/internal/dataset"
+	"cicero/internal/engine"
+	"cicero/internal/serve"
+	"cicero/internal/voice"
+)
+
+// newHousingAnswerer builds the housing tenant: a time-series dataset
+// with rents and populations by city, state, bedrooms, and month.
+func newHousingAnswerer(t testing.TB) *serve.Answerer {
+	t.Helper()
+	rel := dataset.Housing(6000, 1)
+	cfg := engine.DefaultConfig(rel)
+	cfg.Targets = []string{"rent"}
+	cfg.MaxQueryLen = 1
+	s := &engine.Summarizer{Rel: rel, Config: cfg, Alg: engine.AlgGreedyOpt,
+		Template: engine.Template{TargetPhrase: "monthly rent", Unit: "dollars"}}
+	store, _, err := s.Preprocess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := voice.NewExtractor(rel, voice.DefaultSamples("housing"), cfg.MaxQueryLen)
+	return serve.New(rel, store, ex, serve.Options{})
+}
+
+// newDialogueServer mounts flights (default) and housing behind one
+// registry server, the two-tenant shape the dialogue smoke run uses.
+func newDialogueServer(t testing.TB, opts Options) *Server {
+	t.Helper()
+	reg := serve.NewRegistry()
+	fl, _ := newFlightsAnswerer(t, "cancellation probability")
+	if err := reg.Add("flights", fl); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add("housing", newHousingAnswerer(t)); err != nil {
+		t.Fatal(err)
+	}
+	return NewMulti(reg, "flights", opts)
+}
+
+// TestHousingShapesOverHTTP drives all four new query shapes end to end
+// through the HTTP tier against the housing tenant.
+func TestHousingShapesOverHTTP(t *testing.T) {
+	s := newDialogueServer(t, Options{})
+	h := s.Handler()
+
+	cases := []struct {
+		name, text, kind, contains string
+	}{
+		{"multi-constraint",
+			"rent for Two bedroom apartments in cities with population over 500 thousand",
+			"constrained", "over 500 thousand"},
+		{"topk", "the three cities with the highest rent", "topk", "New York"},
+		{"trend", "how did rent change since January 2024", "trend", "January 2024"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec := postTo(t, h, "/v1/housing/answer", fmt.Sprintf(`{"text":%q}`, c.text))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+			var resp AnswerResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatal(err)
+			}
+			if resp.Kind != c.kind || !resp.Answered {
+				t.Fatalf("kind %q answered %v (text %q); want answered %q",
+					resp.Kind, resp.Answered, resp.Text, c.kind)
+			}
+			if !strings.Contains(resp.Text, c.contains) {
+				t.Errorf("answer %q, want mention of %q", resp.Text, c.contains)
+			}
+		})
+	}
+}
+
+// TestDialogueSessionOverHTTP is the fourth shape: follow-up resolution
+// through the session field, across stateless HTTP requests.
+func TestDialogueSessionOverHTTP(t *testing.T) {
+	s := newDialogueServer(t, Options{})
+	h := s.Handler()
+
+	ask := func(session, text string) AnswerResponse {
+		t.Helper()
+		body := fmt.Sprintf(`{"text":%q,"session":%q}`, text, session)
+		rec := postTo(t, h, "/v1/housing/answer", body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("ask(%q, %q): status %d: %s", session, text, rec.Code, rec.Body.String())
+		}
+		var resp AnswerResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	seed := ask("alice", "which city has the highest rent")
+	if seed.Kind != "extremum" || !seed.Answered || !strings.Contains(seed.Text, "New York") {
+		t.Fatalf("seed = %+v", seed)
+	}
+	fu := ask("alice", "what about Texas")
+	if fu.Request != "Follow-up" || fu.Kind != "extremum" || !fu.Answered {
+		t.Fatalf("follow-up = %+v, want resolved extremum", fu)
+	}
+	if !strings.Contains(fu.Text, "Austin") {
+		t.Errorf("follow-up text %q, want the Texas extremum (Austin)", fu.Text)
+	}
+
+	// A different session shares no context.
+	stranger := ask("bob", "what about Texas")
+	if stranger.Kind != "followup" || stranger.Answered {
+		t.Errorf("cross-session follow-up = %+v, want the apology", stranger)
+	}
+	// Sessions are scoped per dataset: the same id on another tenant
+	// has its own (empty) dialogue.
+	rec := postTo(t, h, "/v1/flights/answer", `{"text":"what about Winter","session":"alice"}`)
+	var cross AnswerResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &cross); err != nil {
+		t.Fatal(err)
+	}
+	if cross.Kind != "followup" || cross.Answered {
+		t.Errorf("cross-tenant follow-up = %+v, want the apology", cross)
+	}
+	// And the same request without a session is stateless.
+	rec = postTo(t, h, "/v1/housing/answer", `{"text":"what about Texas"}`)
+	var stateless AnswerResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stateless); err != nil {
+		t.Fatal(err)
+	}
+	if stateless.Kind != "followup" || stateless.Answered {
+		t.Errorf("sessionless follow-up = %+v, want the apology", stateless)
+	}
+
+	// Repeat replays within the session.
+	rep := ask("alice", "repeat that")
+	if rep.Kind != "repeat" || !rep.Answered || rep.Text != fu.Text {
+		t.Errorf("repeat = %+v, want replay of %q", rep, fu.Text)
+	}
+
+	if n := s.Sessions(); n != 3 {
+		t.Errorf("live sessions = %d, want 3 (alice on two tenants, bob)", n)
+	}
+}
+
+func TestSessionBatchRejected(t *testing.T) {
+	s := newDialogueServer(t, Options{})
+	rec := postTo(t, s.Handler(), "/v1/housing/answer",
+		`{"texts":["rent in Boston","what about Miami"],"session":"alice"}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("batch+session status = %d, want 400", rec.Code)
+	}
+}
+
+// TestSessionStatelessFallback: a backend without AnswerContext (or a
+// server with sessions disabled) serves session requests statelessly
+// rather than failing them.
+func TestSessionStatelessFallback(t *testing.T) {
+	b := &blockingBackend{store: engine.NewStore(),
+		entered: make(chan string, 1), release: make(chan struct{}, 1)}
+	b.release <- struct{}{}
+	s := NewWithBackend(b, Options{CacheEntries: -1})
+	res, err := s.AnswerSession(t.Context(), DefaultDataset, "alice", "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-b.entered
+	if res.Text != "done: hello" {
+		t.Errorf("fallback answer = %q", res.Text)
+	}
+	if s.Sessions() != 0 {
+		t.Errorf("stateless fallback created a session")
+	}
+
+	disabled := newDialogueServer(t, Options{SessionEntries: -1})
+	res, err = disabled.AnswerSession(t.Context(), "housing", "alice", "what about Texas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != serve.FollowUp || res.Answered {
+		t.Errorf("sessions-disabled follow-up = %+v, want the stateless apology", res)
+	}
+}
+
+func TestSessionTableLRU(t *testing.T) {
+	tbl := newSessionTable(2)
+	a := tbl.slot("ds\x00a")
+	tbl.slot("ds\x00b")
+	if got := tbl.slot("ds\x00a"); got != a {
+		t.Fatalf("slot identity not stable across touches")
+	}
+	// Capacity 2: adding c evicts b (least recently used), not a.
+	tbl.slot("ds\x00c")
+	if tbl.len() != 2 {
+		t.Fatalf("len = %d, want 2", tbl.len())
+	}
+	if got := tbl.slot("ds\x00a"); got != a {
+		t.Errorf("recently used slot was evicted")
+	}
+	// b was evicted: asking again creates a fresh slot (c now evicted).
+	tbl.purgeDataset("ds")
+	if tbl.len() != 0 {
+		t.Errorf("purge left %d sessions", tbl.len())
+	}
+}

@@ -360,14 +360,15 @@ feed:
 // header and the stale marker); begin is the request's start offset
 // from the run start, for the cluster error timeline.
 type outcome struct {
-	lat    time.Duration
-	begin  time.Duration
-	kind   string
-	node   string
-	cached bool
-	shared bool
-	stale  bool
-	err    bool
+	lat      time.Duration
+	begin    time.Duration
+	kind     string
+	node     string
+	answered bool
+	cached   bool
+	shared   bool
+	stale    bool
+	err      bool
 }
 
 // answerOnce sends one request and parses the serving metadata.

@@ -29,7 +29,6 @@ import (
 	"errors"
 	"fmt"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -56,6 +55,19 @@ const (
 	Unsupported
 	// Unknown marks requests that were not understood at all.
 	Unknown
+	// TopK answers rank the k extremal dimension values at run time.
+	// The dialogue-era kinds are appended after Unknown so the numeric
+	// values of the seed kinds stay stable.
+	TopK
+	// Trend answers describe how a target moved across a time window.
+	Trend
+	// Constrained answers aggregate over entities passing a numeric
+	// constraint ("cities with population over 500 thousand").
+	Constrained
+	// FollowUp marks an elliptical continuation that could not be
+	// resolved (no session context); resolved follow-ups carry the
+	// kind of the backend that answered the merged query.
+	FollowUp
 )
 
 // String names the answer kind for logs and metrics.
@@ -73,6 +85,14 @@ func (k Kind) String() string {
 		return "repeat"
 	case Unsupported:
 		return "unsupported"
+	case TopK:
+		return "topk"
+	case Trend:
+		return "trend"
+	case Constrained:
+		return "constrained"
+	case FollowUp:
+		return "followup"
 	default:
 		return "unknown"
 	}
@@ -283,6 +303,11 @@ func (a *Answerer) route(c voice.Classification, text string) Answer {
 		ans := a.answerUnsupported(c, text)
 		ans.Request = c.Type
 		return ans
+	case voice.FollowUp:
+		// The stateless Answerer has no previous query to merge the
+		// ellipsis into; AnswerContext resolves these against a session.
+		return Answer{Kind: FollowUp, Request: c.Type,
+			Text: "That sounds like a follow-up; ask me a full question first."}
 	default:
 		return Answer{Kind: Unknown, Request: c.Type,
 			Text: "Sorry, I did not understand. Say \"help\" for what I know."}
@@ -310,13 +335,30 @@ func (a *Answerer) answerSummary(q engine.Query) Answer {
 }
 
 // answerUnsupported handles the dominant unsupported query types of the
-// deployment logs (Section VIII-D) — extrema and comparisons — by cheap
-// run-time aggregation, and apologizes for the rest.
+// deployment logs (Section VIII-D) — extrema, comparisons, and the
+// dialogue-era shapes (top-k, trend, constrained) — by cheap run-time
+// aggregation, and apologizes for the rest.
 func (a *Answerer) answerUnsupported(c voice.Classification, text string) Answer {
 	if c.Query.Target != "" {
 		switch c.Kind {
 		case voice.Extremum:
-			if ans, ok := a.answerExtremum(c, text); ok {
+			if c.Constraint != nil {
+				// "the city with the highest rent among cities with
+				// population over 500 thousand": the ranked path owns
+				// constraint filtering; with k=1 it reports the extremum.
+				if ans, ok := a.answerTopK(c); ok {
+					return ans
+				}
+			}
+			if ans, ok := a.answerExtremum(c); ok {
+				return ans
+			}
+		case voice.TopK:
+			if ans, ok := a.answerTopK(c); ok {
+				return ans
+			}
+		case voice.Trend:
+			if ans, ok := a.answerTrend(c); ok {
 				return ans
 			}
 		case voice.Comparison:
@@ -324,6 +366,12 @@ func (a *Answerer) answerUnsupported(c voice.Classification, text string) Answer
 				return ans
 			}
 		case voice.Retrieval:
+			if c.Constraint != nil {
+				if ans, ok := a.answerConstrained(c); ok {
+					return ans
+				}
+				break
+			}
 			// A retrieval with more predicates than the store supports is
 			// exactly what the most-specific-match rule of Section III is
 			// for: serve the speech of the closest containing subset.
@@ -340,20 +388,8 @@ func (a *Answerer) answerUnsupported(c voice.Classification, text string) Answer
 	}
 }
 
-// extremumKind infers the requested direction from the utterance.
-func extremumKind(text string) engine.ExtremumKind {
-	norm := voice.Normalize(text)
-	for _, w := range []string{"lowest", "least", "minimum", "min", "fewest", "smallest"} {
-		if strings.Contains(norm, w) {
-			return engine.Min
-		}
-	}
-	return engine.Max
-}
-
-func (a *Answerer) answerExtremum(c voice.Classification, text string) (Answer, bool) {
-	dim, ok := a.ex.ExtractDimension(text)
-	if !ok {
+func (a *Answerer) answerExtremum(c voice.Classification) (Answer, bool) {
+	if c.Dim == "" {
 		return Answer{}, false
 	}
 	// One load per answer: resolution and aggregation must see the same
@@ -363,19 +399,156 @@ func (a *Answerer) answerExtremum(c voice.Classification, text string) (Answer, 
 	if err != nil {
 		return Answer{}, false
 	}
-	kind := extremumKind(text)
-	res, err := engine.AnswerExtremum(rel, c.Query.Target, dim, preds, kind, a.opts.MinExtremumRows)
+	res, err := engine.AnswerExtremum(rel, c.Query.Target, c.Dim, preds, c.Direction, a.opts.MinExtremumRows)
 	if err != nil {
 		return Answer{}, false
 	}
 	return Answer{
-		Kind: Extremum, Text: res.Text(kind, c.Query.Target),
+		Kind: Extremum, Text: res.Text(c.Direction, c.Query.Target),
 		Answered: true, Query: c.Query,
 	}, true
 }
 
+func (a *Answerer) answerTopK(c voice.Classification) (Answer, bool) {
+	if c.Dim == "" {
+		return Answer{}, false
+	}
+	k := c.K
+	if k < 1 {
+		k = 1
+	}
+	rel := a.rel.Load()
+	_, preds, err := c.Query.Resolve(rel)
+	if err != nil {
+		return Answer{}, false
+	}
+	res, err := engine.AnswerTopK(rel, c.Query.Target, c.Dim, preds, c.Direction,
+		k, a.opts.MinExtremumRows, c.Constraint)
+	if err != nil {
+		return Answer{}, false
+	}
+	kind := TopK
+	if k == 1 {
+		// A constrained extremum routes here with k=1; it is still an
+		// extremum answer to callers and metrics.
+		kind = Extremum
+	}
+	return Answer{
+		Kind: kind, Text: res.Text(c.Direction, c.Query.Target),
+		Answered: true, Query: c.Query,
+	}, true
+}
+
+func (a *Answerer) answerTrend(c voice.Classification) (Answer, bool) {
+	timeDim, ok := a.ex.TimeDim()
+	if !ok {
+		return Answer{}, false
+	}
+	periods := a.ex.TimePeriods()
+	if len(periods) < 2 {
+		return Answer{}, false
+	}
+	from, to := 0, len(periods)-1
+	if w := c.Window; w != nil {
+		from, to = w.From, w.To
+		if from < 0 {
+			from = 0
+		}
+		if to > len(periods)-1 {
+			to = len(periods) - 1
+		}
+		if from > to {
+			from = to
+		}
+	}
+	// A single-period window cannot show movement; widen it by one.
+	if from == to {
+		if from > 0 {
+			from--
+		} else {
+			to++
+		}
+	}
+	rel := a.rel.Load()
+	q := c.Query
+	// The window owns the time dimension: a stray predicate on it would
+	// collapse the trend to a single period.
+	kept := q.Predicates[:0:0]
+	for _, p := range q.Predicates {
+		if p.Column != timeDim {
+			kept = append(kept, p)
+		}
+	}
+	q.Predicates = kept
+	_, preds, err := q.Resolve(rel)
+	if err != nil {
+		return Answer{}, false
+	}
+	res, err := engine.AnswerTrend(rel, q.Target, timeDim, periods[from:to+1], preds, a.opts.MinExtremumRows)
+	if err != nil {
+		return Answer{}, false
+	}
+	return Answer{
+		Kind: Trend, Text: res.Text(),
+		Answered: true, Query: c.Query,
+	}, true
+}
+
+func (a *Answerer) answerConstrained(c voice.Classification) (Answer, bool) {
+	if c.Constraint == nil {
+		return Answer{}, false
+	}
+	rel := a.rel.Load()
+	dim := c.Dim
+	if dim == "" {
+		dim = entityDim(rel, c.Query.Predicates)
+	}
+	if dim == "" {
+		return Answer{}, false
+	}
+	_, preds, err := c.Query.Resolve(rel)
+	if err != nil {
+		return Answer{}, false
+	}
+	res, err := engine.AnswerConstrained(rel, c.Query.Target, dim, preds,
+		*c.Constraint, a.opts.MinExtremumRows)
+	if err != nil {
+		return Answer{}, false
+	}
+	return Answer{
+		Kind: Constrained, Text: res.Text(*c.Constraint),
+		Answered: true, Query: c.Query,
+	}, true
+}
+
+// entityDim picks a fallback entity dimension for a constrained query
+// that named none: the highest-cardinality dimension not already bound
+// by a predicate. Entity dimensions (cities, airlines) have many
+// values; facets (seasons, bedroom counts) have few.
+func entityDim(rel *relation.Relation, preds []engine.NamedPredicate) string {
+	bound := make(map[string]bool, len(preds))
+	for _, p := range preds {
+		bound[p.Column] = true
+	}
+	best, bestCard := "", 0
+	for _, d := range rel.Schema().Dimensions {
+		if bound[d] {
+			continue
+		}
+		if card := rel.DimByName(d).Cardinality(); card > bestCard {
+			best, bestCard = d, card
+		}
+	}
+	return best
+}
+
 func (a *Answerer) answerComparison(c voice.Classification, text string) (Answer, bool) {
-	vals := a.ex.ExtractValues(text)
+	vals := c.Values
+	if len(vals) < 2 {
+		// Merged follow-ups carry slots only; raw requests can still fall
+		// back to scanning the utterance.
+		vals = a.ex.ExtractValues(text)
+	}
 	if len(vals) < 2 {
 		return Answer{}, false
 	}
@@ -400,40 +573,3 @@ func (a *Answerer) answerComparison(c voice.Classification, text string) (Answer
 	}, true
 }
 
-// Session wraps an Answerer with per-user conversational state, namely
-// the previous output for "repeat" requests. Sessions are cheap; create
-// one per user or connection. A Session is safe for concurrent use,
-// though interleaving requests makes "repeat" race conversationally.
-type Session struct {
-	a    *Answerer
-	mu   sync.Mutex
-	last string
-}
-
-// NewSession opens a conversation against the Answerer.
-func (a *Answerer) NewSession() *Session { return &Session{a: a} }
-
-// Answer serves one request, replaying the previous answer for repeat
-// requests and remembering answered content for the next repeat.
-func (s *Session) Answer(text string) Answer {
-	ans := s.a.Answer(text)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if ans.Kind == Repeat {
-		if s.last != "" {
-			ans.Text = s.last
-			ans.Answered = true
-		}
-		return ans
-	}
-	if ans.Answered && ans.Kind != Help {
-		// Clone: a summary Text may be a zero-copy view into an mmapped
-		// snapshot, and a bare string does not keep the mapping alive the
-		// way the Answer's Matched speech pointer does. The session can
-		// outlive the store generation the answer came from (SwapStore
-		// unmaps once all its speeches are unreachable), so retained text
-		// must own its bytes.
-		s.last = strings.Clone(ans.Text)
-	}
-	return ans
-}

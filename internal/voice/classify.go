@@ -21,6 +21,10 @@ const (
 	UQuery
 	// Other covers everything else (chit-chat, accidental triggers).
 	Other
+	// FollowUp is an elliptical dialogue continuation ("what about
+	// Texas") that only makes sense merged with the previous query's
+	// context. Appended after Other so Table III numbering is stable.
+	FollowUp
 )
 
 // String names the request type as in Table III.
@@ -34,17 +38,21 @@ func (t RequestType) String() string {
 		return "S-Query"
 	case UQuery:
 		return "U-Query"
+	case FollowUp:
+		return "Follow-up"
 	default:
 		return "Other"
 	}
 }
 
-// RequestTypes lists all request types in Table III row order.
+// RequestTypes lists all request types in Table III row order, with the
+// dialogue extension appended.
 func RequestTypes() []RequestType {
-	return []RequestType{Help, Repeat, SQuery, UQuery, Other}
+	return []RequestType{Help, Repeat, SQuery, UQuery, Other, FollowUp}
 }
 
-// QueryKind classifies data-access queries by intent (Figure 9b).
+// QueryKind classifies data-access queries by intent (Figure 9b), plus
+// the extended shapes of ROADMAP item 5.
 type QueryKind int
 
 const (
@@ -54,6 +62,12 @@ const (
 	Comparison
 	// Extremum asks for maxima/minima.
 	Extremum
+	// TopK asks for a ranked list of the k extremal dimension values
+	// ("the three cities with the highest rent").
+	TopK
+	// Trend asks how a target moved across a time window ("how did
+	// rent change since January 2023").
+	Trend
 )
 
 // String names the query kind as in Figure 9(b).
@@ -63,6 +77,10 @@ func (k QueryKind) String() string {
 		return "retrieval"
 	case Comparison:
 		return "comparison"
+	case TopK:
+		return "topk"
+	case Trend:
+		return "trend"
 	default:
 		return "extremum"
 	}
@@ -71,12 +89,30 @@ func (k QueryKind) String() string {
 // Classification is the analysis result for one voice request.
 type Classification struct {
 	Type RequestType
-	// Kind is meaningful only for data-access queries (S/U-Query).
+	// Kind is meaningful only for data-access queries (S/U-Query and
+	// FollowUp).
 	Kind QueryKind
 	// Query is the extracted query for data-access requests.
 	Query engine.Query
 	// Predicates is the number of extracted equality predicates.
 	Predicates int
+
+	// Extended slots for the richer query surface. Dim is the spoken
+	// group-by dimension ("cities" → city) for extremum / top-k /
+	// constrained shapes; K the requested list length (0 when
+	// unspecified); Direction the extremal direction when HasDirection
+	// reports an explicit marker ("lowest"); Window the resolved time
+	// window for trend questions; Constraint the numeric entity filter
+	// ("population over 500 thousand"); Values every dimension-value
+	// mention in order, without Extract's one-per-dimension collapse
+	// (comparisons and follow-up merging need the full list).
+	Dim          string
+	K            int
+	Direction    engine.ExtremumKind
+	HasDirection bool
+	Window       *Window
+	Constraint   *engine.Constraint
+	Values       []engine.NamedPredicate
 }
 
 var (
@@ -96,6 +132,14 @@ var (
 		"maximum", "minimum", "max", "min", "top",
 		"fewest", "smallest", "largest", "greatest",
 	}
+	// extremumMinWords flips the extremal direction to minima.
+	extremumMinWords = []string{
+		"lowest", "least", "minimum", "min", "fewest", "smallest",
+	}
+	trendMarkers = []string{
+		"trend", "trends", "over time", "change", "changed", "changing",
+		"evolve", "evolved", "evolution", "history", "trajectory",
+	}
 )
 
 // containsAny reports whether any marker occurs in the normalized text on
@@ -110,8 +154,12 @@ func containsAny(text string, markers []string) bool {
 }
 
 // Classify analyzes one voice request: first the conversational types
-// (help, repeat), then data-access queries via the extractor, split into
-// supported and unsupported per the query model of Section III.
+// (help, repeat), then data-access queries via the extractor's slot
+// grammar, split into supported and unsupported per the query model of
+// Section III. An utterance with a follow-up prefix that is elliptical
+// — missing the target, or naming one without any other slot — is a
+// FollowUp and carries only the slots it mentions; the serving layer
+// merges them into the previous query's context.
 func Classify(text string, ex *Extractor) Classification {
 	norm := Normalize(text)
 	if containsAny(norm, helpMarkers) {
@@ -120,23 +168,38 @@ func Classify(text string, ex *Extractor) Classification {
 	if containsAny(norm, repeatMarkers) {
 		return Classification{Type: Repeat}
 	}
-	q, hasTarget := ex.Extract(text)
-	kind := Retrieval
-	if containsAny(norm, comparisonMarkers) {
-		kind = Comparison
-	} else if containsAny(norm, extremumMarkers) {
-		kind = Extremum
+	body, hasPrefix := followUpBody(norm)
+	var c Classification
+	if hasPrefix {
+		c = ex.extractSlots(body)
+		elliptical := c.Query.Target == "" ||
+			(len(c.Query.Predicates) == 0 && c.Constraint == nil && c.Window == nil &&
+				c.Kind == Retrieval && c.Dim == "")
+		if elliptical {
+			c.Type = FollowUp
+			return c
+		}
+		// A complete query after the prefix ("what about delays in
+		// Winter") classifies as a standalone request.
+	} else {
+		c = ex.extractSlots(norm)
 	}
-	if !hasTarget {
+	if c.Query.Target == "" && c.Constraint != nil {
+		// "which cities have population over 500 thousand": the
+		// constraint target doubles as the reported aggregate.
+		c.Query.Target = c.Constraint.Target
+	}
+	if c.Query.Target == "" {
 		// Comparison or extremum requests about unrecognized data are
 		// unsupported queries; everything else is Other.
-		if kind != Retrieval {
-			return Classification{Type: UQuery, Kind: kind}
+		if c.Kind != Retrieval {
+			return Classification{Type: UQuery, Kind: c.Kind, Dim: c.Dim, K: c.K,
+				Direction: c.Direction, HasDirection: c.HasDirection, Window: c.Window}
 		}
 		return Classification{Type: Other}
 	}
-	c := Classification{Kind: kind, Query: q, Predicates: len(q.Predicates)}
-	if kind != Retrieval || len(q.Predicates) > ex.MaxQueryLen() {
+	if c.Kind != Retrieval || c.Constraint != nil ||
+		len(c.Query.Predicates) > ex.MaxQueryLen() {
 		c.Type = UQuery
 		return c
 	}

@@ -42,12 +42,28 @@ type Extractor struct {
 	// maxQueryLen bounds supported queries; longer ones are classified
 	// as unsupported.
 	maxQueryLen int
+	// dimPhrases indexes dimension column mentions, singular and
+	// plural ("city", "cities"), longest-first at match time.
+	dimPhrases []dimPhrase
+	// Time-dimension metadata filled by detectTimeDim: timeDim is the
+	// column index (-1 when the relation has no time dimension),
+	// periods its values in chronological order, periodIdx the lookup
+	// from normalized period phrase to chronological index.
+	timeDim   int
+	timeName  string
+	periods   []string
+	periodIdx map[string]int
 }
 
 type valueEntry struct {
 	phrase string
 	dim    int
 	value  string
+}
+
+type dimPhrase struct {
+	phrase string
+	dim    string
 }
 
 // NewExtractor builds an extractor for a relation. The samples provide
@@ -83,7 +99,65 @@ func NewExtractor(rel *relation.Relation, samples []Sample, maxQueryLen int) *Ex
 		}
 		return e.values[i].phrase < e.values[j].phrase
 	})
+	e.buildDimPhrases()
+	e.detectTimeDim()
 	return e
+}
+
+// buildDimPhrases indexes the spoken forms of dimension column names,
+// including naive singular/plural variants so "cities" finds the "city"
+// column and "airline" finds "airlines"-style columns.
+func (e *Extractor) buildDimPhrases() {
+	seen := map[string]bool{}
+	add := func(phrase, dim string) {
+		if phrase == "" || seen[phrase] {
+			return
+		}
+		seen[phrase] = true
+		e.dimPhrases = append(e.dimPhrases, dimPhrase{phrase: phrase, dim: dim})
+	}
+	for _, d := range e.rel.Schema().Dimensions {
+		base := Normalize(strings.ReplaceAll(d, "_", " "))
+		add(base, d)
+		words := strings.Fields(base)
+		if len(words) == 0 {
+			continue
+		}
+		last := words[len(words)-1]
+		variant := ""
+		switch {
+		case strings.HasSuffix(last, "ies"):
+			variant = last[:len(last)-3] + "y"
+		case strings.HasSuffix(last, "s"):
+			variant = last[:len(last)-1]
+		case strings.HasSuffix(last, "y"):
+			variant = last[:len(last)-1] + "ies"
+		default:
+			variant = last + "s"
+		}
+		if variant != "" && variant != last {
+			words[len(words)-1] = variant
+			add(strings.Join(words, " "), d)
+		}
+	}
+	sort.SliceStable(e.dimPhrases, func(i, j int) bool {
+		if len(e.dimPhrases[i].phrase) != len(e.dimPhrases[j].phrase) {
+			return len(e.dimPhrases[i].phrase) > len(e.dimPhrases[j].phrase)
+		}
+		return e.dimPhrases[i].phrase < e.dimPhrases[j].phrase
+	})
+}
+
+// TimeDim returns the detected time dimension's column name, if any.
+func (e *Extractor) TimeDim() (string, bool) {
+	return e.timeName, e.timeDim >= 0
+}
+
+// TimePeriods returns the time dimension's values in chronological
+// order (Window indexes point into this slice). It returns nil when the
+// relation has no time dimension.
+func (e *Extractor) TimePeriods() []string {
+	return e.periods
 }
 
 // Normalize lowercases text and collapses everything that is not a letter
@@ -166,18 +240,17 @@ func (e *Extractor) Extract(text string) (engine.Query, bool) {
 func (e *Extractor) MaxQueryLen() int { return e.maxQueryLen }
 
 // ExtractDimension finds a dimension *column* mentioned by name in the
-// text ("which airline has the most cancellations" → "airline"). Used
-// by the extended extremum answering path.
+// text ("which airline has the most cancellations" → "airline"),
+// matching singular and plural spoken forms ("cities" → "city"). Used
+// by the extremum / top-k answering paths.
 func (e *Extractor) ExtractDimension(text string) (string, bool) {
 	norm := Normalize(text)
-	best, bestLen := "", 0
-	for _, d := range e.rel.Schema().Dimensions {
-		phrase := Normalize(strings.ReplaceAll(d, "_", " "))
-		if len(phrase) > bestLen && containsPhrase(norm, phrase) {
-			best, bestLen = d, len(phrase)
+	for _, dp := range e.dimPhrases {
+		if containsPhrase(norm, dp.phrase) {
+			return dp.dim, true
 		}
 	}
-	return best, best != ""
+	return "", false
 }
 
 // ExtractValues returns every dimension value mentioned in the text, in

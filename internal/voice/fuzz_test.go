@@ -34,6 +34,32 @@ var fuzzSeeds = []string{
 	"smallest largest greatest fewest",  // extremum synonyms
 	"delay UA DL WN B6 AS NK F9",        // many same-dimension values
 	"cancellations Winter Spring Summer Fall Morning Night Mon Tue",
+	// Extended grammar: top-k counts, constraints, windows, follow-ups.
+	"the top 3 airlines with the highest cancellations",
+	"top three months by delays",
+	"bottom 2 airlines by cancellation probability",
+	"the three airlines with the fewest cancellations",
+	"airlines with cancellations over 10 percent",
+	"months with delay of at least 20 minutes",
+	"airlines with cancellations above 500 thousand",
+	"with over without numbers",
+	"how did delays change since January",
+	"delay trend over the last three months",
+	"delays between February and June",
+	"delays from January to March",
+	"delays over the last 2 quarters",
+	"what about Winter",
+	"what about delays",
+	"how about the top five airlines",
+	"and the lowest",
+	"and delays in Winter",
+	"what about",
+	"top 99999 airlines",
+	"top 0 airlines",
+	"since since since",
+	"last last months percent",
+	"5 airlines 6 months 7 seasons",
+	"2 million delays in February",
 }
 
 func fuzzExtractor(f *testing.F) *Extractor {
@@ -54,9 +80,14 @@ func FuzzClassify(f *testing.F) {
 	f.Fuzz(func(t *testing.T, text string) {
 		c := Classify(text, ex)
 		switch c.Type {
-		case Help, Repeat, SQuery, UQuery, Other:
+		case Help, Repeat, SQuery, UQuery, Other, FollowUp:
 		default:
 			t.Fatalf("Classify(%q) invalid type %d", text, int(c.Type))
+		}
+		switch c.Kind {
+		case Retrieval, Comparison, Extremum, TopK, Trend:
+		default:
+			t.Fatalf("Classify(%q) invalid kind %d", text, int(c.Kind))
 		}
 		switch c.Type {
 		case SQuery:
@@ -65,6 +96,9 @@ func FuzzClassify(f *testing.F) {
 			}
 			if c.Kind != Retrieval {
 				t.Fatalf("Classify(%q) SQuery with kind %v", text, c.Kind)
+			}
+			if c.Constraint != nil || c.Window != nil {
+				t.Fatalf("Classify(%q) SQuery carries constraint/window", text)
 			}
 			if len(c.Query.Predicates) > ex.MaxQueryLen() {
 				t.Fatalf("Classify(%q) SQuery with %d predicates over bound %d",
@@ -79,6 +113,35 @@ func FuzzClassify(f *testing.F) {
 			if c.Predicates != len(c.Query.Predicates) {
 				t.Fatalf("Classify(%q) Predicates=%d but query has %d",
 					text, c.Predicates, len(c.Query.Predicates))
+			}
+		}
+		if c.K < 0 || c.K > 100 {
+			t.Fatalf("Classify(%q) K=%d out of range", text, c.K)
+		}
+		if c.Kind == TopK && c.Type != Other && c.K < 2 {
+			t.Fatalf("Classify(%q) TopK with K=%d", text, c.K)
+		}
+		if w := c.Window; w != nil {
+			n := len(ex.TimePeriods())
+			if w.From < 0 || w.To >= n || w.From > w.To {
+				t.Fatalf("Classify(%q) window %+v out of 0..%d", text, w, n-1)
+			}
+		}
+		if c.Constraint != nil && c.Constraint.Target == "" {
+			t.Fatalf("Classify(%q) constraint without target", text)
+		}
+		if c.Dim != "" {
+			found := false
+			for _, d := range ex.rel.Schema().Dimensions {
+				found = found || d == c.Dim
+			}
+			if !found {
+				t.Fatalf("Classify(%q) unknown dim %q", text, c.Dim)
+			}
+		}
+		for _, p := range c.Values {
+			if _, err := ex.rel.PredicateByName(p.Column, p.Value); err != nil {
+				t.Fatalf("Classify(%q) unresolvable value %v: %v", text, p, err)
 			}
 		}
 	})

@@ -33,6 +33,13 @@ func DefaultSamples(dataset string) []Sample {
 			{Phrase: "support", Target: "pct"},
 			{Phrase: "poll numbers", Target: "pct"},
 		}
+	case "housing":
+		return []Sample{
+			{Phrase: "rents", Target: "rent"},
+			{Phrase: "rental prices", Target: "rent"},
+			{Phrase: "monthly rent", Target: "rent"},
+			{Phrase: "residents", Target: "population"},
+		}
 	default:
 		return nil
 	}

@@ -1,0 +1,567 @@
+package voice
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"cicero/internal/engine"
+)
+
+// This file implements the slot grammar behind the extended query
+// shapes (ROADMAP item 5): spoken numbers ("500 thousand", "10
+// percent"), numeric entity constraints ("cities with population over
+// 500k"), top-k counts ("the three cities"), calendar periods and time
+// windows ("since January 2023", "over the last six months"), and the
+// elliptical follow-up prefixes dialogue sessions resolve ("what about
+// Texas"). Everything operates on Normalize()d text, which collapses
+// punctuation — so all numerals are spoken forms, never decimals.
+
+// Window is a resolved time window: inclusive indexes into the
+// extractor's chronologically ordered TimePeriods().
+type Window struct {
+	From, To int
+}
+
+// ---- spoken numbers ----
+
+var numberWords = map[string]float64{
+	"zero": 0, "one": 1, "two": 2, "three": 3, "four": 4, "five": 5,
+	"six": 6, "seven": 7, "eight": 8, "nine": 9, "ten": 10,
+	"eleven": 11, "twelve": 12, "thirteen": 13, "fourteen": 14,
+	"fifteen": 15, "sixteen": 16, "seventeen": 17, "eighteen": 18,
+	"nineteen": 19, "twenty": 20,
+}
+
+var numberMults = map[string]float64{
+	"hundred": 100, "thousand": 1e3, "million": 1e6, "billion": 1e9,
+}
+
+// parseNumToken parses one normalized token as a numeral, including
+// digit strings with spoken suffixes ("500k", "2m").
+func parseNumToken(tok string) (float64, bool) {
+	if v, ok := numberWords[tok]; ok {
+		return v, true
+	}
+	mult := 1.0
+	if len(tok) > 1 {
+		switch tok[len(tok)-1] {
+		case 'k':
+			mult, tok = 1e3, tok[:len(tok)-1]
+		case 'm':
+			mult, tok = 1e6, tok[:len(tok)-1]
+		}
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v * mult, true
+}
+
+// parseSpokenNumber parses a spoken number starting at toks[i]: a base
+// numeral followed by chained multipliers ("five hundred thousand") and
+// an optional "percent" scaling. It returns the value and the number of
+// tokens consumed (0 when toks[i] does not start a number).
+func parseSpokenNumber(toks []string, i int) (float64, int) {
+	if i >= len(toks) {
+		return 0, 0
+	}
+	var v float64
+	n := 0
+	if toks[i] == "a" || toks[i] == "an" {
+		// "over a million"
+		if i+1 < len(toks) {
+			if _, ok := numberMults[toks[i+1]]; ok {
+				v, n = 1, 1
+			}
+		}
+		if n == 0 {
+			return 0, 0
+		}
+	} else {
+		base, ok := parseNumToken(toks[i])
+		if !ok {
+			return 0, 0
+		}
+		v, n = base, 1
+	}
+	for i+n < len(toks) {
+		if m, ok := numberMults[toks[i+n]]; ok {
+			v *= m
+			n++
+			continue
+		}
+		break
+	}
+	if i+n < len(toks) && toks[i+n] == "percent" {
+		v /= 100
+		n++
+	}
+	return v, n
+}
+
+// ---- calendar periods ----
+
+var monthIndex = map[string]int{
+	"january": 1, "february": 2, "march": 3, "april": 4, "may": 5,
+	"june": 6, "july": 7, "august": 8, "september": 9, "october": 10,
+	"november": 11, "december": 12,
+}
+
+// parsePeriodKey parses a normalized dimension value as a calendar
+// period and returns a chronologically sortable key: bare month names
+// ("february"), month-plus-year ("january 2023"), and numeric
+// year-month forms ("2023 04", the normalization of "2023-04").
+func parsePeriodKey(norm string) (int, bool) {
+	toks := strings.Fields(norm)
+	switch len(toks) {
+	case 1:
+		if m, ok := monthIndex[toks[0]]; ok {
+			return m, true
+		}
+	case 2:
+		if m, ok := monthIndex[toks[0]]; ok {
+			if y, err := strconv.Atoi(toks[1]); err == nil && y >= 1000 && y <= 9999 {
+				return y*12 + m, true
+			}
+		}
+		if y, err := strconv.Atoi(toks[0]); err == nil && y >= 1000 && y <= 9999 {
+			if m, err := strconv.Atoi(toks[1]); err == nil && m >= 1 && m <= 12 {
+				return y*12 + m, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// detectTimeDim finds the relation's time dimension, if any: a column
+// with at least 3 values, every one of which parses as a calendar
+// period. Columns whose names hint at time win ties; otherwise the
+// first qualifying column does. It fills timeDim, timeName, periods
+// (chronological) and periodIdx on the extractor.
+func (e *Extractor) detectTimeDim() {
+	e.timeDim = -1
+	type cand struct {
+		dim    int
+		hinted bool
+	}
+	var best *cand
+	for d := 0; d < e.rel.NumDims(); d++ {
+		vals := e.rel.Dim(d).Values()
+		if len(vals) < 3 {
+			continue
+		}
+		ok := true
+		for _, v := range vals {
+			if _, good := parsePeriodKey(Normalize(v)); !good {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		name := strings.ToLower(e.rel.Schema().Dimensions[d])
+		hinted := strings.Contains(name, "month") || strings.Contains(name, "date") ||
+			strings.Contains(name, "period") || strings.Contains(name, "quarter") ||
+			strings.Contains(name, "year") || strings.Contains(name, "time")
+		c := cand{dim: d, hinted: hinted}
+		if best == nil || (hinted && !best.hinted) {
+			best = &c
+		}
+	}
+	if best == nil {
+		return
+	}
+	e.timeDim = best.dim
+	e.timeName = e.rel.Schema().Dimensions[best.dim]
+	vals := e.rel.Dim(best.dim).Values()
+	type pv struct {
+		key int
+		val string
+	}
+	pvs := make([]pv, 0, len(vals))
+	for _, v := range vals {
+		k, _ := parsePeriodKey(Normalize(v))
+		pvs = append(pvs, pv{key: k, val: v})
+	}
+	sort.SliceStable(pvs, func(i, j int) bool { return pvs[i].key < pvs[j].key })
+	e.periods = make([]string, len(pvs))
+	e.periodIdx = make(map[string]int, len(pvs))
+	for i, p := range pvs {
+		e.periods[i] = p.val
+		e.periodIdx[Normalize(p.val)] = i
+	}
+}
+
+// matchPeriodAt matches a period phrase at token position i, longest
+// form first ("january 2024" before "january").
+func (e *Extractor) matchPeriodAt(toks []string, i int) (idx, n int) {
+	for n := 2; n >= 1; n-- {
+		if i+n <= len(toks) {
+			if idx, ok := e.periodIdx[strings.Join(toks[i:i+n], " ")]; ok {
+				return idx, n
+			}
+		}
+	}
+	return 0, 0
+}
+
+// joinExcept rejoins toks with the half-open range [from, to) removed.
+func joinExcept(toks []string, from, to int) string {
+	out := make([]string, 0, len(toks))
+	out = append(out, toks[:from]...)
+	out = append(out, toks[to:]...)
+	return strings.Join(out, " ")
+}
+
+// ---- constraint clauses ----
+
+var constraintIntros = map[string]bool{
+	"with": true, "where": true, "whose": true, "having": true,
+	"have": true, "has": true,
+}
+
+var constraintOps = []struct {
+	words []string
+	op    engine.ConstraintOp
+}{
+	{[]string{"at", "least"}, engine.AtLeast},
+	{[]string{"at", "most"}, engine.AtMost},
+	{[]string{"more", "than"}, engine.Over},
+	{[]string{"greater", "than"}, engine.Over},
+	{[]string{"less", "than"}, engine.Under},
+	{[]string{"fewer", "than"}, engine.Under},
+	{[]string{"over"}, engine.Over},
+	{[]string{"above"}, engine.Over},
+	{[]string{"exceeding"}, engine.Over},
+	{[]string{"under"}, engine.Under},
+	{[]string{"below"}, engine.Under},
+}
+
+// constraintUnits are spoken units that may trail the threshold and are
+// consumed with the clause ("over 2000 dollars").
+var constraintUnits = map[string]bool{
+	"dollars": true, "dollar": true, "people": true, "residents": true,
+	"minutes": true, "points": true,
+}
+
+// matchTargetAt matches a target phrase at token position i, longest
+// phrase first, returning the target column and tokens consumed.
+func (e *Extractor) matchTargetAt(toks []string, i int) (string, int) {
+	best, bestN := "", 0
+	for phrase, t := range e.targetPhrases {
+		p := strings.Fields(phrase)
+		if len(p) <= bestN || i+len(p) > len(toks) {
+			continue
+		}
+		match := true
+		for k, w := range p {
+			if toks[i+k] != w {
+				match = false
+				break
+			}
+		}
+		if match {
+			best, bestN = t, len(p)
+		}
+	}
+	return best, bestN
+}
+
+// extractConstraint consumes the first numeric constraint clause —
+// "(with|where|whose|having) [the|a|an] <target> [of] <op> <number>
+// [unit]" — and returns it together with the remaining text.
+func (e *Extractor) extractConstraint(norm string) (*engine.Constraint, string) {
+	toks := strings.Fields(norm)
+	for i, tok := range toks {
+		if !constraintIntros[tok] {
+			continue
+		}
+		j := i + 1
+		if j < len(toks) && (toks[j] == "the" || toks[j] == "a" || toks[j] == "an") {
+			j++
+		}
+		tgt, tn := e.matchTargetAt(toks, j)
+		if tn == 0 {
+			continue
+		}
+		j += tn
+		// Optional linking word: "population of at least", "whose
+		// cancellations are over".
+		if j < len(toks) {
+			switch toks[j] {
+			case "of", "is", "are", "was", "were":
+				j++
+			}
+		}
+		var op engine.ConstraintOp
+		on := 0
+		for _, c := range constraintOps {
+			if j+len(c.words) > len(toks) {
+				continue
+			}
+			match := true
+			for k, w := range c.words {
+				if toks[j+k] != w {
+					match = false
+					break
+				}
+			}
+			if match {
+				op, on = c.op, len(c.words)
+				break
+			}
+		}
+		if on == 0 {
+			continue
+		}
+		j += on
+		v, vn := parseSpokenNumber(toks, j)
+		if vn == 0 {
+			continue
+		}
+		j += vn
+		if j < len(toks) && constraintUnits[toks[j]] {
+			j++
+		}
+		return &engine.Constraint{Target: tgt, Op: op, Value: v}, joinExcept(toks, i, j)
+	}
+	return nil, norm
+}
+
+// ---- time windows ----
+
+// windowUnits maps spoken window units to a period multiplier, assuming
+// month-granular time dimensions (the only kind detectTimeDim accepts).
+var windowUnits = map[string]int{
+	"month": 1, "months": 1, "period": 1, "periods": 1,
+	"quarter": 3, "quarters": 3, "year": 12, "years": 12,
+}
+
+// extractWindow consumes the first time-window phrase — "since
+// <period>", "between <period> and <period>", "from <period> to
+// <period>", or "[the] last <n> <unit>" — and returns the resolved
+// window with the remaining text. Without a time dimension it is a
+// no-op.
+func (e *Extractor) extractWindow(norm string) (*Window, string) {
+	if e.timeDim < 0 {
+		return nil, norm
+	}
+	toks := strings.Fields(norm)
+	n := len(e.periods)
+	for i, tok := range toks {
+		switch tok {
+		case "since":
+			if idx, pn := e.matchPeriodAt(toks, i+1); pn > 0 {
+				return &Window{From: idx, To: n - 1}, joinExcept(toks, i, i+1+pn)
+			}
+		case "between", "from":
+			sep := "and"
+			if tok == "from" {
+				sep = "to"
+			}
+			a, an := e.matchPeriodAt(toks, i+1)
+			if an == 0 {
+				continue
+			}
+			j := i + 1 + an
+			if j >= len(toks) || toks[j] != sep {
+				continue
+			}
+			b, bn := e.matchPeriodAt(toks, j+1)
+			if bn == 0 {
+				continue
+			}
+			lo, hi := a, b
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			return &Window{From: lo, To: hi}, joinExcept(toks, i, j+1+bn)
+		case "last", "past":
+			j := i + 1
+			count := 1.0
+			if v, vn := parseSpokenNumber(toks, j); vn > 0 {
+				count = v
+				j += vn
+			}
+			if j >= len(toks) {
+				continue
+			}
+			mult, ok := windowUnits[toks[j]]
+			if !ok {
+				continue
+			}
+			span := int(count) * mult
+			if span < 1 {
+				span = 1
+			}
+			from := n - span
+			if from < 0 {
+				from = 0
+			}
+			start := i
+			if start > 0 && toks[start-1] == "the" {
+				start--
+			}
+			return &Window{From: from, To: n - 1}, joinExcept(toks, start, j+1)
+		}
+	}
+	return nil, norm
+}
+
+// ---- top-k counts and dimension mentions ----
+
+// matchDimAt matches a dimension phrase (singular or plural) at token
+// position i, returning the column name and tokens consumed.
+func (e *Extractor) matchDimAt(toks []string, i int) (string, int) {
+	best, bestN := "", 0
+	for _, dp := range e.dimPhrases {
+		p := strings.Fields(dp.phrase)
+		if len(p) <= bestN || i+len(p) > len(toks) {
+			continue
+		}
+		match := true
+		for k, w := range p {
+			if toks[i+k] != w {
+				match = false
+				break
+			}
+		}
+		if match {
+			best, bestN = dp.dim, len(p)
+		}
+	}
+	return best, bestN
+}
+
+// extractCount consumes a top-k count — "top <n> [dim]", "bottom <n>
+// [dim]", or "<n> <dim>" ("the three cities") — returning the count,
+// the named dimension if adjacent, the remaining text, and whether the
+// "bottom" form asked for minima. Run it only after dimension values
+// are consumed, so "two bedroom apartments" cannot leak a count.
+func (e *Extractor) extractCount(norm string) (k int, dim string, rest string, bottom bool) {
+	toks := strings.Fields(norm)
+	for i, tok := range toks {
+		if tok == "top" || tok == "bottom" {
+			v, vn := parseSpokenNumber(toks, i+1)
+			if vn == 0 || v != float64(int(v)) || v < 1 || v > 100 {
+				continue
+			}
+			j := i + 1 + vn
+			d, dn := e.matchDimAt(toks, j)
+			return int(v), d, joinExcept(toks, i, j+dn), tok == "bottom"
+		}
+		v, vn := parseSpokenNumber(toks, i)
+		if vn == 0 || v != float64(int(v)) || v < 1 || v > 100 {
+			continue
+		}
+		d, dn := e.matchDimAt(toks, i+vn)
+		if dn == 0 {
+			continue
+		}
+		return int(v), d, joinExcept(toks, i, i+vn+dn), false
+	}
+	return 0, "", norm, false
+}
+
+// ---- follow-up prefixes ----
+
+var followUpPrefixes = []string{"what about", "how about", "and"}
+
+// followUpBody strips a follow-up prefix from normalized text. The
+// boolean reports whether a prefix was present; whether the utterance
+// really is elliptical is decided by the classifier from the slots of
+// the remaining body.
+func followUpBody(norm string) (string, bool) {
+	for _, p := range followUpPrefixes {
+		if norm == p {
+			return "", true
+		}
+		if strings.HasPrefix(norm, p+" ") {
+			return strings.TrimSpace(norm[len(p)+1:]), true
+		}
+	}
+	return norm, false
+}
+
+// extractSlots runs the full slot grammar over normalized text and
+// returns a Classification with everything but the request type filled
+// in. Extraction order matters: the constraint clause goes first so its
+// target ("population") cannot hijack the main target slot, the window
+// goes second so its periods cannot become equality predicates, values
+// are consumed before counts so "two bedroom apartments" cannot leak a
+// top-k count, and counts before dimension mentions so "three cities"
+// binds both at once.
+func (e *Extractor) extractSlots(norm string) Classification {
+	var c Classification
+	var rest string
+	c.Constraint, rest = e.extractConstraint(norm)
+	var win *Window
+	win, rest = e.extractWindow(rest)
+
+	target, bestLen := "", 0
+	for phrase, t := range e.targetPhrases {
+		if len(phrase) > bestLen && containsPhrase(rest, phrase) {
+			target, bestLen = t, len(phrase)
+		}
+	}
+	c.Query.Target = target
+
+	consumed := rest
+	usedDim := map[int]bool{}
+	for _, ve := range e.values {
+		if !containsPhrase(consumed, ve.phrase) {
+			continue
+		}
+		np := engine.NamedPredicate{
+			Column: e.rel.Schema().Dimensions[ve.dim],
+			Value:  ve.value,
+		}
+		c.Values = append(c.Values, np)
+		if !usedDim[ve.dim] {
+			usedDim[ve.dim] = true
+			c.Query.Predicates = append(c.Query.Predicates, np)
+		}
+		consumed = strings.Replace(consumed, ve.phrase, " ", 1)
+	}
+
+	var bottom bool
+	var afterCount string
+	c.K, c.Dim, afterCount, bottom = e.extractCount(consumed)
+	if c.Dim == "" {
+		if d, ok := e.ExtractDimension(afterCount); ok {
+			c.Dim = d
+		}
+	}
+
+	comparison := containsAny(rest, comparisonMarkers)
+	extremum := containsAny(rest, extremumMarkers) || bottom || c.K > 0
+	trend := containsAny(rest, trendMarkers) || win != nil
+	switch {
+	case comparison:
+		c.Kind = Comparison
+	case extremum:
+		if c.K > 1 {
+			c.Kind = TopK
+		} else {
+			c.Kind = Extremum
+		}
+		c.HasDirection = containsAny(rest, extremumMarkers) || bottom
+		if bottom || containsAny(rest, extremumMinWords) {
+			c.Direction = engine.Min
+		} else {
+			c.Direction = engine.Max
+		}
+	case trend:
+		c.Kind = Trend
+		c.Window = win
+	default:
+		c.Kind = Retrieval
+	}
+
+	c.Query = c.Query.Canonical()
+	c.Predicates = len(c.Query.Predicates)
+	return c
+}

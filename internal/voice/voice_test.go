@@ -247,14 +247,14 @@ func TestTable3Counts(t *testing.T) {
 }
 
 func TestRequestTypeStrings(t *testing.T) {
-	want := []string{"Help", "Repeat", "S-Query", "U-Query", "Other"}
+	want := []string{"Help", "Repeat", "S-Query", "U-Query", "Other", "Follow-up"}
 	for i, rt := range RequestTypes() {
 		if rt.String() != want[i] {
 			t.Errorf("type %d = %q, want %q", i, rt.String(), want[i])
 		}
 	}
-	kinds := []QueryKind{Retrieval, Comparison, Extremum}
-	names := []string{"retrieval", "comparison", "extremum"}
+	kinds := []QueryKind{Retrieval, Comparison, Extremum, TopK, Trend}
+	names := []string{"retrieval", "comparison", "extremum", "topk", "trend"}
 	for i, k := range kinds {
 		if k.String() != names[i] {
 			t.Errorf("kind %d = %q", i, k.String())
